@@ -1,0 +1,20 @@
+"""Benchmark-suite helpers.
+
+Each benchmark runs one experiment end to end (rounds=1 — these are
+macro-benchmarks of a simulator, not micro-benchmarks of Python code)
+and prints the paper-style figure/table it regenerates, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+produces the full paper-vs-measured record.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and show
+    its report."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    if result is not None and hasattr(result, "show"):
+        result.show()
+    return result

@@ -1,0 +1,22 @@
+"""Figure 9: overall performance of BionicDB vs Silo (YCSB-C, TPC-C)."""
+
+from repro.bench import run_fig9a, run_fig9b
+
+from conftest import run_once
+
+
+def test_fig9a_ycsb_overall(benchmark):
+    report = run_once(benchmark, run_fig9a, n_txns=200)
+    bionic4 = report.value("BionicDB", 4)
+    silo4 = report.value("Silo/Xeon", 4)
+    silo24 = report.value("Silo/Xeon", 24)
+    # the paper's claims, with generous tolerance for the model
+    assert bionic4 > 3.0 * silo4          # "faster by up to 4.5x"
+    assert 0.6 < silo24 / bionic4 < 1.6   # Silo@24 ~ BionicDB@4
+
+
+def test_fig9b_tpcc_overall(benchmark):
+    report = run_once(benchmark, run_fig9b, n_txns=160)
+    bionic4 = report.value("BionicDB", 4)
+    silo4 = report.value("Silo/Xeon", 4)
+    assert 0.4 < bionic4 / silo4 < 2.5    # "comparable performance"

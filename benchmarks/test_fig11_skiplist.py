@@ -1,0 +1,49 @@
+"""Figure 11: skiplist pipelining, scans, and the software comparison."""
+
+from repro.bench import (
+    run_fig11a, run_fig11b, run_fig11c, run_fig11d, scanner_count_sweep,
+)
+
+from conftest import run_once
+
+AXIS = (1, 4, 8, 12, 16, 20, 24)
+
+
+def test_fig11a_sequential_loading(benchmark):
+    report = run_once(benchmark, run_fig11a, axis=AXIS, n_ops=400)
+    ys = report.series[0].ys
+    assert ys[1] > ys[0] * 3           # sharp growth 1 -> 4
+    assert ys[-1] < ys[2] * 1.3        # saturated well before 24
+
+def test_fig11b_point_queries(benchmark):
+    report = run_once(benchmark, run_fig11b, axis=AXIS, n_ops=400)
+    ys = report.series[0].ys
+    assert ys[1] > ys[0] * 3
+    assert max(ys) > 0
+
+
+def test_fig11c_scans(benchmark):
+    report = run_once(benchmark, run_fig11c, axis=AXIS, n_ops=160)
+    ys = report.series[0].ys
+    # the single scanner bottlenecks: flat from 8 onward
+    assert ys[-1] < ys[2] * 1.1
+    # paper: ~40 kTps
+    assert 25e3 < max(ys) < 70e3
+
+
+def test_fig11d_vs_software(benchmark):
+    report = run_once(benchmark, run_fig11d, n_txns=120)
+    bionic = report.value("Scan(50)", "BionicDB")
+    masstree = report.value("Scan(50)", "Masstree")
+    sw_skiplist = report.value("Scan(50)", "SW skiplist")
+    # paper: Masstree ~20% faster, SW skiplist ~5x faster
+    assert 1.0 < masstree / bionic < 1.6
+    assert 3.5 < sw_skiplist / bionic < 7.0
+
+
+def test_fig11_scanner_ablation(benchmark):
+    report = run_once(benchmark, scanner_count_sweep, counts=(1, 2, 3, 5, 8),
+                      n_ops=160)
+    ys = report.series[0].ys
+    # scanners distribute scan load; ~5 scanners ~ SW skiplist territory
+    assert ys[3] > ys[0] * 3.5

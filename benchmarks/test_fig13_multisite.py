@@ -1,0 +1,12 @@
+"""Figure 13: multisite transactions over on-chip message passing."""
+
+from repro.bench import run_fig13
+
+from conftest import run_once
+
+
+def test_fig13_multisite_overhead_negligible(benchmark):
+    report = run_once(benchmark, run_fig13, n_txns=160)
+    single = report.value("YCSB-C", "Single-site")
+    multi = report.value("YCSB-C", "Multisite (75% remote)")
+    assert multi > single * 0.9   # "almost same performance"

@@ -1,0 +1,13 @@
+"""Power comparison (§5.8): ~11.5 W FPGA vs 380 W of Xeon TDP."""
+
+from repro.bench import run_power
+
+from conftest import run_once
+
+
+def test_power_order_of_magnitude(benchmark):
+    report = run_once(benchmark, run_power)
+    fpga, xeon = report.series[0].ys
+    assert 10.0 < fpga < 13.0       # paper: ~11.5 W
+    assert xeon == 380.0            # 4 chips x 95 W TDP
+    assert xeon / fpga > 10         # an order of magnitude saving

@@ -1,0 +1,21 @@
+"""Table 3: message-passing latency comparison."""
+
+import pytest
+
+from repro.bench import run_table3
+from repro.bench.tables import measure_onchip_roundtrip_ns
+
+from conftest import run_once
+
+
+def test_table3_rows(benchmark):
+    report = run_once(benchmark, run_table3)
+    prim, total = report.series
+    assert prim.ys == [24.0, 20.0, 80.0]
+    assert total.ys == [48.0, 40.0, 320.0]
+
+
+def test_measured_roundtrip_matches_model(benchmark):
+    rt = benchmark.pedantic(measure_onchip_roundtrip_ns,
+                            rounds=1, iterations=1)
+    assert rt == pytest.approx(48.0)

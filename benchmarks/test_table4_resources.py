@@ -1,0 +1,21 @@
+"""Table 4: FPGA resource utilization."""
+
+from repro.bench import run_table4
+from repro.bench.tables import PAPER_TABLE4
+
+from conftest import run_once
+
+
+def test_table4_resources(benchmark):
+    report = run_once(benchmark, run_table4)
+    ff, lut, bram = report.series
+    util_row = report.xs.index("Utilization")
+    # paper: ~70-72% utilization across FFs, LUTs, BRAMs
+    assert 0.6 < ff.ys[util_row] < 0.8
+    assert 0.6 < lut.ys[util_row] < 0.8
+    assert 0.6 < bram.ys[util_row] < 0.8
+    # per-module totals within 10% of the published rows
+    for module, (pff, plut, _pb) in PAPER_TABLE4.items():
+        row = report.xs.index(module)
+        assert abs(ff.ys[row] - pff) / pff < 0.10
+        assert abs(lut.ys[row] - plut) / plut < 0.10

@@ -1,0 +1,68 @@
+"""Quickstart: a key-value table on a 4-worker BionicDB.
+
+Builds the simulated machine, registers a stored procedure written
+with the builder DSL, runs a few transactions and prints what the
+hardware did — including the resource and power reports of §5.8.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BionicConfig, BionicDB
+from repro.isa import Gp, ProcedureBuilder, disassemble
+from repro.mem import IndexKind, TableSchema, TxnStatus
+
+
+def main() -> None:
+    # ---- 1. the machine: four partition workers on one FPGA ----------
+    db = BionicDB(BionicConfig(n_workers=4))
+
+    # ---- 2. a range-partitioned key-value table ----------------------
+    def by_range(key, n_partitions):
+        return min(key // 1000, n_partitions - 1)
+
+    db.define_table(TableSchema(0, "kv", index_kind=IndexKind.HASH,
+                                n_fields=1, hash_buckets=4096,
+                                partition_fn=by_range))
+
+    # ---- 3. a stored procedure: read a key, update another -----------
+    b = ProcedureBuilder("read_and_bump")
+    b.search(cp=0, table=0, key=b.at(0))     # probe key at input cell 0
+    b.update(cp=1, table=0, key=b.at(1))     # write-lock key at cell 1
+    b.commit_handler()
+    b.ret(0, 0)                              # collect the read
+    b.store(Gp(0), b.at(3))                  # publish its tuple address
+    b.ret(1, 1)                              # collect the update
+    b.load(2, b.at(2))                       # the new value (input 2)
+    b.wrfield(1, 0, Gp(2))                   # UNDO-logged in-place write
+    b.commit()
+    program = b.build()
+    print("The stored procedure, disassembled:")
+    print(disassemble(program))
+    db.register_procedure(proc_id=1, program=program)
+
+    # ---- 4. load data and run transactions ----------------------------
+    for key in range(4000):
+        db.load(0, key, [f"value-{key}"])
+
+    blocks = [db.new_block(1, [k, k + 1, f"bumped-{k}"], worker=by_range(k, 4))
+              for k in (10, 1010, 2010, 3010)]
+    report = db.run_all(blocks, workers=[0, 1, 2, 3])
+
+    print(f"committed {report.committed}/{report.submitted} transactions "
+          f"in {report.elapsed_ns / 1000:.1f} us of FPGA time "
+          f"({report.throughput_tps / 1e3:.0f} kTps)")
+    for block in blocks:
+        assert block.header.status is TxnStatus.COMMITTED
+    print("updated row 11:", db.lookup(0, 11).fields)
+
+    # ---- 5. what did the hardware cost? -------------------------------
+    util = db.resource_ledger().utilization()
+    power = db.power_report()
+    print(f"device utilization: {util['lut']:.0%} LUTs, "
+          f"{util['ff']:.0%} FFs, {util['bram']:.0%} BRAMs")
+    print(f"estimated power: {power.total_w:.1f} W "
+          f"(vs {db.baseline_power_w(24):.0f} W for the 24-core Xeon baseline)")
+
+
+if __name__ == "__main__":
+    main()

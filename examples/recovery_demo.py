@@ -1,0 +1,91 @@
+"""Command logging and recovery (§4.8).
+
+Executes transactions through a durable client (inputs logged before
+execution, finalised with commit timestamps after), then simulates a
+crash: a brand-new machine restores the checkpoint, replays the
+committed command log in commit-timestamp order and verifies the state
+is identical.
+
+Run:  python examples/recovery_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import BionicConfig, BionicDB
+from repro.host import CommandLog, DurableClient, RecoveryManager, take_checkpoint
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import IndexKind, TableSchema, TxnStatus
+
+
+def build_db() -> BionicDB:
+    db = BionicDB(BionicConfig(n_workers=2))
+    db.define_table(TableSchema(0, "accounts", index_kind=IndexKind.HASH,
+                                partition_fn=lambda k, n: min(k // 100, n - 1)))
+    # transfer(src @0, dst @1, amount @2): classic debit/credit
+    b = ProcedureBuilder("transfer")
+    b.update(cp=0, table=0, key=b.at(0))
+    b.update(cp=1, table=0, key=b.at(1))
+    b.commit_handler()
+    b.load(2, b.at(2))                 # amount
+    b.ret(0, 0)
+    b.load(1, b.fld(0, 0))             # src balance
+    b.sub(1, Gp(1), Gp(2))
+    b.wrfield(0, 0, Gp(1))
+    b.ret(0, 1)
+    b.load(1, b.fld(0, 0))             # dst balance
+    b.add(1, Gp(1), Gp(2))
+    b.wrfield(0, 0, Gp(1))
+    b.commit()
+    db.register_procedure(1, b.build())
+    return db
+
+
+def balances(db: BionicDB, keys) -> dict:
+    return {k: db.lookup(0, k).fields[0] for k in keys}
+
+
+def main() -> None:
+    db = build_db()
+    accounts = list(range(8)) + [150, 151]   # both partitions
+    for k in accounts:
+        db.load(0, k, [1000])
+    checkpoint = take_checkpoint(db)
+    print(f"checkpoint: {sum(len(v) for v in checkpoint.rows.values())} rows")
+
+    client = DurableClient(db)
+    transfers = [(0, 1, 50), (2, 3, 75), (150, 151, 200), (1, 150, 25),
+                 (999, 0, 10)]  # the last one aborts: no account 999
+    for src, dst, amount in transfers:
+        block = client.execute(1, [src, dst, amount],
+                               worker=min(src // 100, 1))
+        print(f"  transfer {src}->{dst} of {amount}: "
+              f"{block.header.status.value}")
+    before = balances(db, accounts)
+    total = sum(before.values())
+    print(f"total money in the bank: {total} (invariant: conserved)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log_path = Path(tmp) / "command.log"
+        ckpt_path = Path(tmp) / "checkpoint.bin"
+        client.log.save(log_path)
+        checkpoint.save(ckpt_path)
+        print(f"\n*** crash *** (log: {len(client.log)} records on disk)")
+
+        db2 = build_db()
+        manager = RecoveryManager(db2)
+        from repro.host import Checkpoint
+        restored = manager.restore_checkpoint(Checkpoint.load(ckpt_path))
+        replayed = manager.replay(CommandLog.load(log_path))
+        print(f"recovery: restored {restored} rows, replayed {replayed} "
+              f"committed transactions (aborted ones ignored)")
+
+        after = balances(db2, accounts)
+        assert after == before, "recovered state differs!"
+        assert sum(after.values()) == total
+        print("recovered balances identical; money conserved. ✓")
+        print(f"hardware clock resumed past ts={db2.hw_clock.current}")
+
+
+if __name__ == "__main__":
+    main()

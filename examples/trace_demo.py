@@ -1,0 +1,45 @@
+"""Watching the hardware work: the execution tracer.
+
+Attaches a Tracer to a small machine and prints the instruction stream,
+pipeline activity and commit decisions for one transaction — the
+simulator's equivalent of a waveform viewer.
+
+Run:  python examples/trace_demo.py
+"""
+
+from repro.core import BionicConfig, BionicDB
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import TableSchema
+from repro.sim import Tracer
+
+
+def main() -> None:
+    tracer = Tracer()  # all categories
+    db = BionicDB(BionicConfig(n_workers=1, tracer=tracer))
+    db.define_table(TableSchema(0, "kv", hash_buckets=256,
+                                partition_fn=lambda k, n: 0))
+    b = ProcedureBuilder("read_two")
+    b.search(cp=0, table=0, key=b.at(0))
+    b.search(cp=1, table=0, key=b.at(1))
+    b.commit_handler()
+    b.ret(0, 0)
+    b.store(Gp(0), b.at(2))
+    b.ret(0, 1)
+    b.store(Gp(0), b.at(3))
+    b.commit()
+    db.register_procedure(1, b.build())
+    db.load(0, 7, ["seven"])
+    db.load(0, 9, ["nine"])
+
+    block = db.new_block(1, [7, 9, None, None], worker=0)
+    db.submit(block, 0)
+    db.run()
+
+    print(f"{len(tracer.events)} events recorded; the full timeline:\n")
+    print(tracer.format())
+    print("\npipeline view only (category filter):\n")
+    print(tracer.format(tracer.filter("hash")))
+
+
+if __name__ == "__main__":
+    main()

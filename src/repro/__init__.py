@@ -1,0 +1,10 @@
+"""BionicDB reproduction (EDBT 2019).
+
+A cycle-level, functional simulation of BionicDB — an FPGA OLTP engine
+with index pipelining, transaction interleaving and on-chip message
+passing — plus a Silo-style software baseline, workloads (YCSB, TPC-C)
+and a benchmark harness reproducing every table and figure in §5 of
+the paper.
+"""
+
+__version__ = "1.0.0"

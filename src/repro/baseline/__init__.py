@@ -1,0 +1,16 @@
+"""The software baseline: a Silo-style OCC engine on a modeled Xeon."""
+
+from .bptree import BPlusTree
+from .memory_model import XeonModel
+from .runner import SiloTpcc, SiloYcsb
+from .silo import (
+    IndexStructure, SiloAbort, SiloEngine, SiloRecord, SiloReport, SiloTable,
+    SiloTxn,
+)
+from .swskiplist import SoftwareSkiplist
+
+__all__ = [
+    "BPlusTree", "XeonModel", "SiloTpcc", "SiloYcsb",
+    "IndexStructure", "SiloAbort", "SiloEngine", "SiloRecord",
+    "SiloReport", "SiloTable", "SiloTxn", "SoftwareSkiplist",
+]

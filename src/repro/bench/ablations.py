@@ -1,0 +1,399 @@
+"""Ablations and extension studies.
+
+These exercise the design choices DESIGN.md calls out:
+
+* multiple Traverse stages under heavy hash conflict (§4.4.1);
+* the cost of hazard prevention on contended inserts (§4.4.1);
+* the softcore's tuple line buffer (our documented modeling addition);
+* batch-size caps under TPC-C's hot rows (§4.5 / Figure 12b);
+* dynamic transaction scheduling (§4.5 future work);
+* crossbar-vs-ring scale-up on a datacenter-grade device (§4.6/§7);
+* shared-nothing scale-out over two chips (§4.6/§7).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..cluster import BionicCluster
+from ..core import BionicConfig, BionicDB
+from ..index.common import DbRequest
+from ..index.hash.pipeline import HashIndexPipeline
+from ..isa import Gp, Opcode, ProcedureBuilder
+from ..mem import IndexKind, TableSchema
+from ..sim import ClockDomain, DramModel, Engine, Heap, TokenPool
+from ..softcore import SoftcoreConfig
+from ..workloads import TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload
+from .report import FigureReport
+
+__all__ = [
+    "run_traverse_stage_sweep", "run_hazard_prevention_cost",
+    "run_line_buffer_ablation", "run_batch_cap_sweep",
+    "run_dynamic_scheduling", "run_scale_up", "run_cluster_scale_out",
+    "run_latency_curve", "run_full_tpcc_mix",
+]
+
+
+# -- Traverse stages under hash conflict ---------------------------------
+def _conflicted_search_tput(n_traverse: int, n_buckets: int = 256,
+                            n_keys: int = 4096, n_ops: int = 800) -> float:
+    """Search throughput at load factor 16 (long conflict chains)."""
+    engine = Engine()
+    clock = ClockDomain(engine, 125.0)
+    dram = DramModel(engine, clock, Heap(), latency_cycles=85.0)
+    pipe = HashIndexPipeline(engine, clock, dram, "h", n_buckets=n_buckets,
+                             n_traverse_stages=n_traverse, max_in_flight=16)
+    for k in range(n_keys):
+        pipe.bulk_load(k, [k])
+    rng = random.Random(3)
+    throttle = TokenPool(engine, 16)
+    done = {"n": 0}
+
+    def on_complete(_r, _res):
+        throttle.release()
+        done["n"] += 1
+
+    def client():
+        for i in range(n_ops):
+            yield throttle.acquire()
+            pipe.submit(DbRequest(op=Opcode.SEARCH, table_id=0, ts=1,
+                                  txn_id=i, key_value=rng.randrange(n_keys),
+                                  on_complete=on_complete))
+
+    engine.process(client())
+    engine.run()
+    return done["n"] / (engine.now * 1e-9)
+
+
+def run_traverse_stage_sweep(stages: Sequence[int] = (1, 2, 4),
+                             n_ops: int = 800) -> FigureReport:
+    report = FigureReport(
+        "Ablation: Traverse stages",
+        "Hash search throughput under heavy conflict chains (load factor 16)",
+        x_label="# Traverse stages", unit="kOps",
+        paper_expectations={
+            "§4.4.1": "if hash conflict is frequent, multiple Traverse "
+                      "stages could be populated for balanced dataflow",
+        })
+    report.xs = list(stages)
+    series = report.new_series("Search")
+    for n in stages:
+        series.add(_conflicted_search_tput(n, n_ops=n_ops))
+    return report
+
+
+# -- hazard prevention cost -----------------------------------------------
+def run_hazard_prevention_cost(n_ops: int = 800) -> FigureReport:
+    report = FigureReport(
+        "Ablation: hazard prevention",
+        "Contended insert throughput with/without pipeline-stall locks",
+        x_label="mode", unit="kOps",
+        paper_expectations={
+            "note": "without prevention, inserts are LOST (Figure 6a) — "
+                    "see tests/test_hash_pipeline.py; this measures the "
+                    "stall cost prevention pays for correctness",
+        })
+
+    def insert_tput(prevention: bool) -> float:
+        engine = Engine()
+        clock = ClockDomain(engine, 125.0)
+        dram = DramModel(engine, clock, Heap(), latency_cycles=85.0)
+        pipe = HashIndexPipeline(engine, clock, dram, "h", n_buckets=64,
+                                 hazard_prevention=prevention,
+                                 max_in_flight=16)
+        throttle = TokenPool(engine, 16)
+        done = {"n": 0}
+
+        def on_complete(_r, _res):
+            throttle.release()
+            done["n"] += 1
+
+        def client():
+            for i in range(n_ops):
+                yield throttle.acquire()
+                req = DbRequest(op=Opcode.INSERT, table_id=0, ts=1, txn_id=i,
+                                key_value=i, on_complete=on_complete)
+                req.insert_payload = [i]
+                pipe.submit(req)
+
+        engine.process(client())
+        engine.run()
+        return done["n"] / (engine.now * 1e-9)
+
+    report.xs = ["prevention on", "prevention off (UNSAFE)"]
+    series = report.new_series("Insert")
+    series.add(insert_tput(True))
+    series.add(insert_tput(False))
+    return report
+
+
+# -- line buffer ------------------------------------------------------------
+def run_line_buffer_ablation(n_txns: int = 200) -> FigureReport:
+    report = FigureReport(
+        "Ablation: tuple line buffer",
+        "TPC-C Payment with/without the softcore's record line buffer",
+        x_label="mode", unit="kTps",
+        paper_expectations={
+            "note": "without it, every tuple-field LOAD/WRFIELD pays a "
+                    "full DRAM read even within one 64-byte header line",
+        })
+
+    def tput(enabled: bool) -> float:
+        db = BionicDB(BionicConfig(softcore=SoftcoreConfig(
+            interleaving=False, line_buffer=enabled)))
+        workload = TpccWorkload(TpccConfig(items=2000,
+                                           customers_per_district=100))
+        workload.install(db)
+        rep, _ = workload.submit_all(
+            db, workload.make_mix(n_txns, neworder_fraction=0.0))
+        return rep.throughput_tps
+
+    report.xs = ["line buffer on", "line buffer off"]
+    series = report.new_series("Payment")
+    series.add(tput(True))
+    series.add(tput(False))
+    return report
+
+
+# -- batch caps on TPC-C ------------------------------------------------------
+def run_batch_cap_sweep(caps: Sequence = (1, 2, 4, 8, None),
+                        n_txns: int = 200) -> FigureReport:
+    report = FigureReport(
+        "Ablation: batch-size cap",
+        "TPC-C mix under interleaving with bounded batches",
+        x_label="max batch", unit="kTps",
+        paper_expectations={
+            "§4.7 + §5.6": "bigger batches widen the dirty window on the "
+                           "warehouse hot row -> more blind rejections",
+        })
+    report.xs = ["serial" if c == 1 else (c or "unbounded") for c in caps]
+    tput = report.new_series("mix")
+    abort_counts = []
+    for cap in caps:
+        db = BionicDB(BionicConfig(softcore=SoftcoreConfig(
+            interleaving=(cap != 1), max_batch=cap)))
+        workload = TpccWorkload(TpccConfig(items=2000,
+                                           customers_per_district=100))
+        workload.install(db)
+        rep, _ = workload.submit_all(db, workload.make_mix(n_txns))
+        tput.add(rep.throughput_tps)
+        abort_counts.append(rep.aborted)
+    report.note("aborts/retries per cap: " + ", ".join(
+        f"{x}={a}" for x, a in zip(report.xs, abort_counts)))
+    return report
+
+
+# -- dynamic scheduling ----------------------------------------------------------
+def _chain_proc(n_hops: int):
+    b = ProcedureBuilder(f"chain{n_hops}")
+    for i in range(n_hops):
+        b.search(cp=i, table=0, key=b.at(i))
+        b.ret(0, i)
+    b.commit_handler()
+    b.store(Gp(0), b.at(n_hops))
+    b.commit()
+    return b.build()
+
+
+def run_dynamic_scheduling(n_txns: int = 120) -> FigureReport:
+    report = FigureReport(
+        "Extension: dynamic scheduling (§4.5 future work)",
+        "Dependent-probe chains: switch-on-blocked-RET vs static interleaving",
+        x_label="scheduler", unit="kTps",
+        paper_expectations={
+            "§4.5": "'it might be helpful to switch between transactions "
+                    "dynamically whenever desired, but current "
+                    "implementation does not support such dynamic "
+                    "scheduling'",
+        })
+
+    def tput(dynamic: bool) -> float:
+        db = BionicDB(BionicConfig(
+            n_workers=4,
+            softcore=SoftcoreConfig(interleaving=True,
+                                    dynamic_scheduling=dynamic)))
+        db.define_table(TableSchema(0, "kv", index_kind=IndexKind.HASH,
+                                    hash_buckets=4096,
+                                    partition_fn=lambda k, n: k % n))
+        db.register_procedure(1, _chain_proc(4))
+        for k in range(2000):
+            db.load(0, k, [k])
+        blocks, homes = [], []
+        for t in range(n_txns):
+            home = t % 4
+            keys = [(home + 4 * (t * 5 + i)) % 2000 for i in range(4)]
+            keys = [k - k % 4 + home for k in keys]  # keep keys home-local
+            blocks.append(db.new_block(1, keys, worker=home))
+            homes.append(home)
+        rep = db.run_all(blocks, workers=homes)
+        return rep.throughput_tps
+
+    report.xs = ["static (paper)", "dynamic (extension)"]
+    series = report.new_series("chain-of-4 reads")
+    series.add(tput(False))
+    series.add(tput(True))
+    return report
+
+
+# -- scale-up: bigger chip, crossbar vs ring -----------------------------------
+def run_scale_up(worker_counts: Sequence[int] = (4, 8, 16, 32),
+                 txns_per_worker: int = 30) -> FigureReport:
+    report = FigureReport(
+        "Extension: scale-up (§7)",
+        "Multisite YCSB-C on a datacenter-grade FPGA, crossbar vs ring",
+        x_label="# workers", unit="kTps",
+        paper_expectations={
+            "§4.6": "the crossbar does not scale; a ring or tree will be "
+                    "required on chips fitting tens of workers",
+        })
+    report.xs = list(worker_counts)
+    results = {}
+    for topo in ("crossbar", "ring"):
+        series = report.new_series(topo)
+        fits = []
+        for n in worker_counts:
+            cfg = BionicConfig(n_workers=n, comm_topology=topo,
+                               device="ultrascale_plus")
+            db = BionicDB(cfg)
+            workload = YcsbWorkload(YcsbConfig(
+                records_per_partition=2000, n_partitions=n,
+                remote_fraction=0.75))
+            workload.install(db)
+            rep, _ = workload.submit_all(
+                db, workload.make_read_txns(txns_per_worker * n))
+            series.add(rep.throughput_tps)
+            fits.append(db.resource_ledger().utilization()["lut"])
+        results[topo] = fits
+    for topo, utils in results.items():
+        pretty = ", ".join(f"{n}w={u:.0%}" for n, u in zip(worker_counts, utils))
+        report.note(f"{topo} LUT utilization on Ultrascale+: {pretty}")
+    return report
+
+
+# -- scale-out: two chips --------------------------------------------------------
+def run_cluster_scale_out(n_txns_per_part: int = 40) -> FigureReport:
+    report = FigureReport(
+        "Extension: scale-out (§4.6/§7)",
+        "Shared-nothing cluster: 1 vs 2 chips on partition-local YCSB-C",
+        x_label="configuration", unit="kTps",
+        paper_expectations={
+            "§7": "possible future directions include ... scaling out over "
+                  "multiple chips and nodes",
+        })
+
+    def read_proc():
+        b = ProcedureBuilder("read1")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.store(Gp(0), b.at(1))
+        b.commit()
+        return b.build()
+
+    def run(n_nodes: int) -> float:
+        per = 1000
+        cluster = BionicCluster(n_nodes=n_nodes,
+                                config=BionicConfig(n_workers=4))
+        total = 4 * n_nodes
+        cluster.define_table(TableSchema(
+            0, "kv", index_kind=IndexKind.HASH, hash_buckets=4096,
+            partition_fn=lambda k, n: min(k // per, n - 1)))
+        cluster.register_procedure(0, read_proc())
+        for p in range(total):
+            for k in range(200):
+                cluster.load(0, p * per + k, [k])
+        blocks, homes = [], []
+        for t in range(n_txns_per_part * total):
+            p = t % total
+            blocks.append(cluster.new_block(
+                0, [p * per + (t * 7) % 200], worker=p))
+            homes.append(p)
+        rep = cluster.run_all(blocks, workers=homes)
+        return rep.throughput_tps
+
+    report.xs = ["1 chip (4 workers)", "2 chips (8 workers)"]
+    series = report.new_series("local YCSB-C")
+    series.add(run(1))
+    series.add(run(2))
+    return report
+
+
+# -- latency under open-loop load ------------------------------------------
+def run_latency_curve(loads=(0.2, 0.4, 0.6, 0.8, 0.95),
+                      n_txns: int = 150) -> FigureReport:
+    """Extension: the latency-vs-load hockey stick the paper's
+    closed-loop (pre-populated input queue) methodology hides.  Loads
+    are fractions of the saturated YCSB-C throughput."""
+    from ..host.open_loop import OpenLoopClient
+
+    report = FigureReport(
+        "Extension: latency under load",
+        "YCSB-C p99 latency vs offered load (open-loop Poisson clients)",
+        x_label="load (x saturation)", unit="us",
+        paper_expectations={
+            "note": "the paper reports saturated throughput only; an "
+                    "open-loop client exposes queueing delay",
+        })
+
+    def fresh():
+        cfg = YcsbConfig(records_per_partition=5000)
+        db = BionicDB(BionicConfig())
+        workload = YcsbWorkload(cfg)
+        workload.install(db)
+        return db, workload
+
+    # saturated throughput from a closed-loop burst
+    db, workload = fresh()
+    sat_report, _ = workload.submit_all(db, workload.make_read_txns(120))
+    saturated = sat_report.throughput_tps
+
+    report.xs = list(loads)
+    p99 = report.new_series("p99 latency")
+    mean = report.new_series("mean latency")
+    for frac in loads:
+        db, workload = fresh()
+        specs = workload.make_read_txns(n_txns)
+        client = OpenLoopClient(db, seed=5)
+
+        def make_txn(i, _specs=specs, _w=workload, _db=db):
+            spec = _specs[i]
+            block = _db.new_block(spec.proc_id, list(spec.inputs),
+                                  layout=_w.read_layout(len(spec.keys)),
+                                  worker=spec.home)
+            return block, spec.home
+
+        result = client.run(make_txn, n_txns, offered_tps=frac * saturated)
+        p99.add(result.percentile_ns(99) / 1000.0)
+        mean.add(result.mean_latency_ns / 1000.0)
+    report.note(f"saturated closed-loop throughput: {saturated/1e3:.1f} kTps")
+    return report
+
+
+# -- full TPC-C mix ---------------------------------------------------------
+def run_full_tpcc_mix(n_txns: int = 200) -> FigureReport:
+    """Extension: the standard five-transaction TPC-C mix (45% NewOrder,
+    43% Payment, 4% OrderStatus, 4% Delivery, 4% StockLevel) on
+    BionicDB.  The paper evaluates only the NewOrder/Payment pair;
+    OrderStatus, Delivery and StockLevel are our ISA implementations
+    (dynamic loops, RETN probes, per-district data dependencies)."""
+    report = FigureReport(
+        "Extension: full TPC-C mix",
+        "Five-transaction TPC-C on BionicDB (serial softcore)",
+        x_label="mix", unit="kTps",
+        paper_expectations={
+            "paper scope": "NewOrder+Payment 50:50 only; the full mix "
+                           "is an extension",
+        })
+    db = BionicDB(BionicConfig(softcore=SoftcoreConfig(interleaving=False)))
+    workload = TpccWorkload(TpccConfig(items=2000, customers_per_district=100))
+    workload.install(db)
+    report.xs = ["NewOrder+Payment (paper)", "full 5-txn mix"]
+    series = report.new_series("throughput")
+    rep_pair, _ = workload.submit_all(db, workload.make_mix(n_txns))
+    series.add(rep_pair.throughput_tps)
+    rep_full, _ = workload.submit_all(db, workload.make_full_mix(n_txns))
+    series.add(rep_full.throughput_tps)
+    report.note(f"full-mix p99 latency: "
+                f"{rep_full.latency_percentile_ns(99) / 1000:.1f} us")
+    return report

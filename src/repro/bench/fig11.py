@@ -1,0 +1,189 @@
+"""Figure 11: skiplist throughput and the scan comparison.
+
+(a) sequential loading (inserts): saturates around 8 in-flight —
+    parallelism bound by pipeline depth, plus lock-table contention on
+    shared entry points;
+(b) point queries: same trend, higher absolute;
+(c) scans of 50 tuples: the single scanner bottlenecks the pipeline;
+(d) scan throughput vs Masstree and a software skiplist on the Xeon —
+    the paper: HW skiplist 20% slower than Masstree and 5x slower than
+    the SW skiplist; "at least 5 scanners would be required to catch
+    up with SW skiplist".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..baseline import IndexStructure, SiloYcsb
+from ..core import BionicConfig, BionicDB
+from ..index.common import DbRequest
+from ..index.skiplist.pipeline import SkiplistPipeline
+from ..isa import Opcode
+from ..mem import IndexKind
+from ..sim import ClockDomain, DramModel, Engine, Heap, TokenPool
+from ..workloads import YcsbConfig, YcsbWorkload
+from .report import FigureReport
+
+__all__ = ["run_fig11a", "run_fig11b", "run_fig11c", "run_fig11d",
+           "skiplist_kv_throughput", "scanner_count_sweep",
+           "DEFAULT_INFLIGHT_AXIS"]
+
+DEFAULT_INFLIGHT_AXIS = (1, 4, 8, 12, 16, 20, 24)
+
+
+def skiplist_kv_throughput(op: str, total_in_flight: int, n_ops: int = 600,
+                           n_workers: int = 4, n_keys: int = 4000,
+                           n_scanners: int = 1, scan_len: int = 50,
+                           config: BionicConfig = None) -> float:
+    """Drive the skiplist pipelines directly (as §5.5 does for hash)."""
+    cfg = config or BionicConfig()
+    engine = Engine()
+    clock = ClockDomain(engine, cfg.fpga_mhz)
+    dram = DramModel(engine, clock, Heap(),
+                     latency_cycles=cfg.dram_latency_cycles,
+                     channels=cfg.dram_channels)
+    pipes: List[SkiplistPipeline] = []
+    for w in range(n_workers):
+        kwargs = cfg.skiplist_kwargs()
+        kwargs["max_in_flight"] = max(64, total_in_flight)
+        kwargs["n_scanners"] = n_scanners
+        pipes.append(SkiplistPipeline(engine, clock, dram, f"w{w}.sl",
+                                      **kwargs))
+    rng = random.Random(13)
+    if op != "insert":
+        for pipe in pipes:
+            for k in range(n_keys):
+                pipe.bulk_load(k, ["v"])
+    throttle = TokenPool(engine, total_in_flight, name="client")
+    done = {"n": 0}
+
+    def on_complete(_req, _result):
+        throttle.release()
+        done["n"] += 1
+
+    def client():
+        for i in range(n_ops):
+            yield throttle.acquire()
+            if op == "insert":
+                # sequential loading, round-robin across partitions
+                req = DbRequest(op=Opcode.INSERT, table_id=0, ts=1, txn_id=i,
+                                key_value=n_keys + i, on_complete=on_complete)
+                req.insert_payload = ["v"]
+            elif op == "search":
+                req = DbRequest(op=Opcode.SEARCH, table_id=0, ts=1, txn_id=i,
+                                key_value=rng.randrange(n_keys),
+                                on_complete=on_complete)
+            else:  # scan
+                start = rng.randrange(max(1, n_keys - scan_len))
+                req = DbRequest(op=Opcode.SCAN, table_id=0, ts=1, txn_id=i,
+                                key_value=start, on_complete=on_complete)
+                req.scan_count = scan_len
+                req.scan_limit = scan_len + 8
+                req.scan_out_addr = dram.heap.alloc(scan_len + 8)
+            pipes[i % n_workers].submit(req)
+
+    engine.process(client())
+    engine.run()
+    assert done["n"] == n_ops
+    return n_ops / (engine.now * 1e-9)
+
+
+def run_fig11a(axis: Sequence[int] = DEFAULT_INFLIGHT_AXIS,
+               n_ops: int = 600) -> FigureReport:
+    report = FigureReport(
+        "Figure 11a", "Skiplist sequential loading (inserts) vs in-flight",
+        x_label="# in-flight", unit="kOps",
+        paper_expectations={
+            "saturation": "~8 in-flight (bound by pipeline depth)",
+            "shape": "sharp growth 1->4, modest 4->8",
+            "peak": "~275 kOps",
+        })
+    report.xs = list(axis)
+    series = report.new_series("Insert")
+    for n in axis:
+        series.add(skiplist_kv_throughput("insert", n, n_ops))
+    return report
+
+
+def run_fig11b(axis: Sequence[int] = DEFAULT_INFLIGHT_AXIS,
+               n_ops: int = 600) -> FigureReport:
+    report = FigureReport(
+        "Figure 11b", "Skiplist point queries vs in-flight",
+        x_label="# in-flight", unit="kOps",
+        paper_expectations={
+            "shape": "same trend as inserts, higher throughput "
+                     "(no tower installation)",
+            "peak": "~350 kTps",
+        })
+    report.xs = list(axis)
+    series = report.new_series("Point query")
+    for n in axis:
+        series.add(skiplist_kv_throughput("search", n, n_ops))
+    return report
+
+
+def run_fig11c(axis: Sequence[int] = DEFAULT_INFLIGHT_AXIS,
+               n_ops: int = 240) -> FigureReport:
+    report = FigureReport(
+        "Figure 11c", "Skiplist scans (50 tuples) vs in-flight",
+        x_label="# in-flight", unit="kTps",
+        paper_expectations={
+            "shape": "pipelining efficiency deteriorated — the single "
+                     "scanner is the bottleneck",
+            "peak": "~40 kTps",
+        })
+    report.xs = list(axis)
+    series = report.new_series("Scan(50)")
+    for n in axis:
+        series.add(skiplist_kv_throughput("scan", n, n_ops))
+    return report
+
+
+def run_fig11d(n_txns: int = 160) -> FigureReport:
+    """Scan throughput: BionicDB vs Masstree vs SW skiplist (4 workers)."""
+    report = FigureReport(
+        "Figure 11d", "Scan(50) throughput vs software indexes (4 workers)",
+        x_label="system", unit="kTps",
+        paper_expectations={
+            "Masstree": "~20% faster than the HW skiplist",
+            "SW skiplist": "~5x faster than the HW skiplist",
+        })
+    cfg = YcsbConfig(records_per_partition=4000, index_kind=IndexKind.SKIPLIST)
+    workload = YcsbWorkload(cfg)
+    specs = workload.make_scan_txns(n_txns)
+
+    db = BionicDB(BionicConfig())
+    workload.install(db)
+    bionic_report, _ = workload.submit_all(db, specs)
+
+    def silo_scan(structure: str) -> float:
+        runner = SiloYcsb(cfg, n_cores=4, structure=structure)
+        runner.install()
+        return runner.run(specs).throughput_tps
+
+    report.xs = ["BionicDB", "Masstree", "SW skiplist"]
+    series = report.new_series("Scan(50)")
+    series.add(bionic_report.throughput_tps)
+    series.add(silo_scan(IndexStructure.MASSTREE))
+    series.add(silo_scan(IndexStructure.SKIPLIST))
+    return report
+
+
+def scanner_count_sweep(counts: Sequence[int] = (1, 2, 3, 5, 8),
+                        n_ops: int = 240) -> FigureReport:
+    """Ablation (§5.5 discussion): redundant scanners distribute heavy
+    scan loads — the paper estimates >= 5 scanners to match the SW
+    skiplist."""
+    report = FigureReport(
+        "Figure 11 ablation", "Scan throughput vs number of scanner modules",
+        x_label="# scanners", unit="kTps",
+        paper_expectations={
+            "claim": "at least 5 scanners required to catch the SW skiplist",
+        })
+    report.xs = list(counts)
+    series = report.new_series("Scan(50)")
+    for n in counts:
+        series.add(skiplist_kv_throughput("scan", 24, n_ops, n_scanners=n))
+    return report

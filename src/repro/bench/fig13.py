@@ -1,0 +1,42 @@
+"""Figure 13: single-site vs multisite transactions.
+
+Cross-partition YCSB-C with uniform random keys: 75% of the DB
+accesses in a multisite transaction are remote.  The paper: on-chip
+message passing makes the overhead negligible — multisite throughput
+is almost the same as the single-site (100% local) ideal.
+"""
+
+from __future__ import annotations
+
+from ..core import BionicConfig, BionicDB
+from ..workloads import YcsbConfig, YcsbWorkload
+from .report import FigureReport
+
+__all__ = ["run_fig13", "multisite_tput"]
+
+
+def multisite_tput(remote_fraction: float, n_txns: int = 200,
+                   records_per_partition: int = 5000) -> float:
+    cfg = YcsbConfig(records_per_partition=records_per_partition,
+                     remote_fraction=remote_fraction)
+    db = BionicDB(BionicConfig())
+    workload = YcsbWorkload(cfg)
+    workload.install(db)
+    report, _ = workload.submit_all(db, workload.make_read_txns(n_txns))
+    return report.throughput_tps
+
+
+def run_fig13(n_txns: int = 200) -> FigureReport:
+    report = FigureReport(
+        "Figure 13", "Single-site vs multisite YCSB-C transactions",
+        x_label="workload", unit="kTps",
+        paper_expectations={
+            "multisite (75% remote)": "almost the same as single-site — "
+                                      "on-chip message passing imposes "
+                                      "negligible overhead",
+        })
+    report.xs = ["Single-site", "Multisite (75% remote)"]
+    series = report.new_series("YCSB-C")
+    series.add(multisite_tput(0.0, n_txns))
+    series.add(multisite_tput(0.75, n_txns))
+    return report

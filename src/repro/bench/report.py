@@ -1,0 +1,93 @@
+"""Benchmark reporting: paper-style series and paper-vs-measured rows.
+
+Every experiment returns a :class:`FigureReport` with one or more
+series; printing it emits the same rows/axes the paper's figure or
+table reports, alongside the paper's approximate values where the text
+states them, so EXPERIMENTS.md can be regenerated from bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "FigureReport", "format_quantity"]
+
+
+def format_quantity(value: float, unit: str) -> str:
+    if unit in ("kTps", "kOps"):
+        return f"{value / 1e3:10.1f} {unit}"
+    if unit in ("mTps", "Mops"):
+        return f"{value / 1e6:10.3f} {unit}"
+    if unit == "ns":
+        return f"{value:10.1f} ns"
+    if unit == "W":
+        return f"{value:10.2f} W"
+    return f"{value:10.3f} {unit}"
+
+
+@dataclass
+class Series:
+    """One line of a figure: y values over the shared x axis."""
+
+    name: str
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, y: float) -> None:
+        self.ys.append(y)
+
+
+@dataclass
+class FigureReport:
+    fig_id: str
+    title: str
+    x_label: str
+    xs: List = field(default_factory=list)
+    unit: str = "kTps"
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: free-form paper anchors, e.g. {"peak search": "7 Mops"}
+    paper_expectations: Dict[str, str] = field(default_factory=dict)
+
+    def new_series(self, name: str) -> Series:
+        s = Series(name)
+        self.series.append(s)
+        return s
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def value(self, series_name: str, x) -> float:
+        idx = self.xs.index(x)
+        for s in self.series:
+            if s.name == series_name:
+                return s.ys[idx]
+        raise KeyError(series_name)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        lines.append("=" * 72)
+        lines.append(f"{self.fig_id}: {self.title}")
+        lines.append("=" * 72)
+        header = f"{self.x_label:>14s} | " + " | ".join(
+            f"{s.name:>18s}" for s in self.series)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, x in enumerate(self.xs):
+            cells = []
+            for s in self.series:
+                y = s.ys[i] if i < len(s.ys) else float("nan")
+                cells.append(format_quantity(y, self.unit).strip().rjust(18))
+            lines.append(f"{str(x):>14s} | " + " | ".join(cells))
+        if self.paper_expectations:
+            lines.append("paper expects:")
+            for what, expect in self.paper_expectations.items():
+                lines.append(f"  - {what}: {expect}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> "FigureReport":
+        print()
+        print(self.render())
+        return self

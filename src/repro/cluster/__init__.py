@@ -1,0 +1,6 @@
+"""Multi-node BionicDB: shared-nothing scale-out (§4.6 future work)."""
+
+from .interconnect import ClusterError, HierarchicalInterconnect
+from .system import BionicCluster
+
+__all__ = ["ClusterError", "HierarchicalInterconnect", "BionicCluster"]

@@ -1,0 +1,126 @@
+"""Hierarchical interconnect for multi-chip BionicDB (§4.6 future work).
+
+"BionicDB is currently a single-chip, single-node system ... it is
+vital to scale BionicDB across multiple FPGA nodes in a shared-nothing
+cluster like H-store ... the message-passing channels should be
+diversified with additional connectivities for inter-node
+communication."
+
+This interconnect presents the familiar crossbar interface over global
+worker ids: messages between workers on the same chip take the on-chip
+hop (3 cycles); messages crossing chips take an inter-node link
+(microseconds, serialised per directed node pair).
+
+Because cluster nodes share no DRAM, a request that crosses nodes must
+be *self-contained*: the key travels inline (no remote KeyFetch into
+the initiator's transaction block), and operations whose effects or
+operands live in the initiator's memory — writes (the §4.7 commit
+protocol patches tuples from the initiator) and scans (the scan set is
+materialised in the initiator's block) — are rejected with
+:class:`ClusterError`.  A distributed commit protocol is beyond the
+paper's design; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..comm.channels import CommLink, RequestPacket, ResponsePacket
+from ..isa.instructions import Opcode
+from ..sim.clock import ClockDomain
+from ..sim.engine import Engine
+from ..sim.stats import StatsRegistry
+from ..sim.sync import Fifo
+
+__all__ = ["ClusterError", "HierarchicalInterconnect"]
+
+_CROSS_NODE_OK = frozenset({Opcode.SEARCH})
+
+
+class ClusterError(RuntimeError):
+    """An operation that cannot cross shared-nothing node boundaries."""
+
+
+class HierarchicalInterconnect:
+    def __init__(self, engine: Engine, clock: ClockDomain,
+                 node_of: Sequence[int],
+                 intra_hop_cycles: float = 3.0,
+                 inter_latency_ns: float = 1500.0,
+                 inter_issue_ns: float = 50.0,
+                 stats: Optional[StatsRegistry] = None):
+        self.engine = engine
+        self.clock = clock
+        self.node_of = list(node_of)
+        self.n_workers = len(self.node_of)
+        self.intra_hop_ns = clock.ns(intra_hop_cycles)
+        self.inter_latency_ns = inter_latency_ns
+        self.inter_issue_ns = inter_issue_ns
+        self.issue_interval_ns = clock.ns(1.0)
+        self.links = [CommLink(engine, w) for w in range(self.n_workers)]
+        self._lane_free: Dict[tuple, float] = {}
+        self.stats = stats or StatsRegistry()
+        self._sent = self.stats.counter("comm.messages")
+        self._inter = self.stats.counter("comm.internode_messages")
+
+    def link(self, worker_id: int) -> CommLink:
+        return self.links[worker_id]
+
+    def crosses_nodes(self, src: int, dst: int) -> bool:
+        return self.node_of[src] != self.node_of[dst]
+
+    # -- sending ------------------------------------------------------------
+    def send_request(self, packet: RequestPacket) -> None:
+        self._check(packet.dst_worker)
+        if self.crosses_nodes(packet.src_worker, packet.dst_worker):
+            self._make_self_contained(packet)
+        self._send(packet.src_worker, packet.dst_worker, "req",
+                   self.links[packet.dst_worker].requests, packet)
+
+    def send_response(self, packet: ResponsePacket) -> None:
+        self._check(packet.dst_worker)
+        self._send(packet.src_worker, packet.dst_worker, "rsp",
+                   self.links[packet.dst_worker].responses, packet)
+
+    def _make_self_contained(self, packet: RequestPacket) -> None:
+        req = packet.request
+        if req.op not in _CROSS_NODE_OK:
+            raise ClusterError(
+                f"{req.op.value} cannot cross node boundaries: the commit "
+                "protocol and scan buffers live in the initiator's memory")
+        if req.key_value is None:
+            # no shared DRAM: the key must travel inline
+            req.key_value = req.route_key
+            req.key_addr = None
+
+    def _check(self, dst: int) -> None:
+        if not 0 <= dst < self.n_workers:
+            raise ValueError(f"destination worker {dst} out of range")
+
+    def _send(self, src: int, dst: int, kind: str, queue: Fifo, packet) -> None:
+        now = self.engine.now
+        self._sent.add()
+        if self.crosses_nodes(src, dst):
+            lane = (kind, self.node_of[src], self.node_of[dst])
+            depart = max(now, self._lane_free.get(lane, 0.0))
+            self._lane_free[lane] = depart + self.inter_issue_ns
+            arrive = depart + self.inter_latency_ns
+            self._inter.add()
+        else:
+            lane = (kind, src, dst)
+            depart = max(now, self._lane_free.get(lane, 0.0))
+            self._lane_free[lane] = depart + self.issue_interval_ns
+            arrive = depart + self.intra_hop_ns
+        self.engine.call_at(arrive, lambda: queue.put(packet))
+
+    # -- latency figures ---------------------------------------------------------
+    @property
+    def primitive_latency_ns(self) -> float:
+        return self.intra_hop_ns
+
+    @property
+    def roundtrip_latency_ns(self) -> float:
+        return 2 * self.intra_hop_ns
+
+    @property
+    def internode_roundtrip_ns(self) -> float:
+        return 2 * self.inter_latency_ns

@@ -1,0 +1,52 @@
+"""Software message-passing latency model — Table 3 of the paper.
+
+Software message passing between CPU threads travels through the cache
+hierarchy or DRAM, because shared memory is the only communication
+semantic most CPUs offer.  The paper's analysis (§5.7) assumes:
+
+* shared-L3 communication: 20 ns per primitive, and a request/response
+  pair takes two cache reads of modified-state lines -> 40 ns total;
+* DDR3 communication: 80 ns per primitive, and a pair costs two rounds
+  of memory read + write -> 320 ns total;
+* on-chip message passing: 24 ns per primitive (3 cycles @ 125 MHz),
+  48 ns for a pair — despite the 15x slower clock.
+
+Thread synchronisation on concurrent message queues is *excluded*,
+deliberately favouring software message passing, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["MessagingPrimitive", "software_mp_table", "ONCHIP_MP", "L3_MP", "DDR3_MP"]
+
+
+@dataclass(frozen=True)
+class MessagingPrimitive:
+    """One row of Table 3."""
+
+    name: str
+    primitive_latency_ns: float
+    #: number of primitive operations in one request/response exchange
+    ops_per_roundtrip: int
+
+    @property
+    def roundtrip_latency_ns(self) -> float:
+        return self.primitive_latency_ns * self.ops_per_roundtrip
+
+
+#: On-chip message passing: 3 cycles @ 125 MHz per message, 2 messages.
+ONCHIP_MP = MessagingPrimitive("On-chip MP", 24.0, 2)
+
+#: Shared L3: two cache reads on modified-state lines.
+L3_MP = MessagingPrimitive("Software MP (L3 cache)", 20.0, 2)
+
+#: DDR3: two rounds of memory read + write.
+DDR3_MP = MessagingPrimitive("Software MP (DDR3)", 80.0, 4)
+
+
+def software_mp_table() -> List[MessagingPrimitive]:
+    """The three rows of Table 3, in paper order."""
+    return [ONCHIP_MP, L3_MP, DDR3_MP]

@@ -1,0 +1,330 @@
+"""BionicDB: the top-level system API.
+
+A :class:`BionicDB` assembles the whole simulated machine of Figure 2:
+``n_workers`` partition workers (softcore + index coprocessor + comm
+link) over shared FPGA-side DRAM, a crossbar of on-chip channels, a
+hardware timestamp clock, an FPGA resource ledger (Table 4) and a
+power model (§5.8).
+
+Typical use::
+
+    from repro.core import BionicDB, BionicConfig
+    from repro.mem import TableSchema
+
+    db = BionicDB(BionicConfig(n_workers=4))
+    table = db.define_table(TableSchema(0, "kv"))
+    db.register_procedure(0, program)      # a repro.isa Program
+    db.load(0, key=1, fields=["hello"])    # bulk load
+    block = db.new_block(proc_id=0, inputs=[1], worker=0)
+    db.submit(block)
+    db.run()
+    print(block.header.status, block.outputs())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..comm.channels import Crossbar
+from ..dora.worker import PartitionWorker
+from ..isa.instructions import Program
+from ..mem.schema import Catalog, IndexKind, TableSchema
+from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
+from ..sim.clock import ClockDomain
+from ..sim.engine import Engine
+from ..sim.memory import DramModel, Heap
+from ..sim.power import CpuPowerModel, FpgaPowerModel, PowerReport
+from ..sim.resources import ResourceLedger, per_worker_costs
+from ..sim.stats import StatsRegistry
+from ..softcore.catalogue import Catalogue
+from ..txn.timestamps import HardwareClock
+from .config import BionicConfig
+
+__all__ = ["BionicDB", "RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Summary of a :meth:`BionicDB.run_all` execution."""
+
+    submitted: int
+    committed: int
+    aborted: int
+    elapsed_ns: float
+    #: per-transaction submit-to-commit latencies (ns), when tracked
+    latencies_ns: list = None
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.committed / (self.elapsed_ns * 1e-9)
+
+    @property
+    def abort_rate(self) -> float:
+        done = self.committed + self.aborted
+        return self.aborted / done if done else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        return sum(self.latencies_ns) / len(self.latencies_ns)
+
+    def latency_percentile_ns(self, p: float) -> float:
+        """p in (0, 100]; nearest-rank percentile of txn latency."""
+        if not self.latencies_ns:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        ordered = sorted(self.latencies_ns)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil
+        return ordered[int(rank) - 1]
+
+
+class BionicDB:
+    """The simulated BionicDB machine."""
+
+    def __init__(self, config: Optional[BionicConfig] = None):
+        self.config = config or BionicConfig()
+        cfg = self.config
+        self.engine = Engine()
+        self.clock = ClockDomain(self.engine, cfg.fpga_mhz, name="fpga")
+        self.heap = Heap()
+        self.stats = StatsRegistry()
+        self.dram = DramModel(self.engine, self.clock, self.heap,
+                              latency_cycles=cfg.dram_latency_cycles,
+                              channels=cfg.dram_channels, stats=self.stats)
+        self.hw_clock = HardwareClock()
+        self.schemas = Catalog()
+        self.catalogue = Catalogue(self.schemas)
+        from ..sim.trace import NULL_TRACER
+        self.tracer = cfg.tracer if cfg.tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(self.clock)
+        if cfg.comm_topology == "ring":
+            from ..comm.ring import RingInterconnect
+            self.crossbar = RingInterconnect(
+                self.engine, self.clock, cfg.n_workers,
+                hop_cycles=cfg.ring_hop_cycles, stats=self.stats)
+        else:
+            self.crossbar = Crossbar(self.engine, self.clock, cfg.n_workers,
+                                     hop_cycles=cfg.comm_hop_cycles,
+                                     stats=self.stats)
+        self._done_count = 0
+        self.workers: List[PartitionWorker] = [
+            PartitionWorker(
+                self.engine, self.clock, self.dram, w, cfg.n_workers,
+                self.catalogue, self.hw_clock, self.crossbar,
+                softcore_config=cfg.softcore,
+                hash_kwargs=cfg.hash_kwargs(),
+                skiplist_kwargs=cfg.skiplist_kwargs(),
+                stats=self.stats,
+                on_txn_done=self._on_txn_done,
+                tracer=self.tracer,
+            )
+            for w in range(cfg.n_workers)
+        ]
+        self._txn_counter = 0
+
+    # -- schema & procedures ------------------------------------------------
+    def define_table(self, schema: TableSchema) -> TableSchema:
+        self.schemas.add(schema)
+        for worker in self.workers:
+            worker.add_table(schema)
+        return schema
+
+    def register_procedure(self, proc_id: int, program: Program) -> None:
+        """Upload a pre-compiled stored procedure to every worker's
+        catalogue (no FPGA reconfiguration required, §4.3)."""
+        self.catalogue.register(proc_id, program)
+
+    # -- loading -------------------------------------------------------------
+    def load(self, table_id: int, key: Any, fields: Sequence[Any],
+             partition: Optional[int] = None) -> None:
+        """Bulk-load one committed row (timing-free host operation).
+
+        Replicated tables are materialised in every partition; otherwise
+        the row lands in the partition the schema routes it to (or an
+        explicit ``partition``).
+        """
+        schema = self.schemas.table(table_id)
+        if schema.replicated:
+            targets: Iterable[int] = range(self.config.n_workers)
+        elif partition is not None:
+            targets = [partition]
+        else:
+            targets = [schema.route(key, self.config.n_workers)]
+        for w in targets:
+            worker = self.workers[w]
+            if schema.index_kind == IndexKind.HASH:
+                worker.hash_pipe.bulk_load(key, list(fields), table_id=table_id)
+            else:
+                worker.skiplist_pipe.bulk_load(key, list(fields),
+                                               table_id=table_id)
+
+    # -- transactions ----------------------------------------------------------
+    def new_block(self, proc_id: int, inputs: Sequence[Any],
+                  layout: Optional[BlockLayout] = None,
+                  worker: Optional[int] = None) -> TransactionBlock:
+        """Allocate a transaction block in DRAM and fill its inputs."""
+        self._txn_counter += 1
+        layout = layout or self.config.block_layout
+        if len(inputs) > layout.n_inputs:
+            layout = BlockLayout(n_inputs=len(inputs),
+                                 n_outputs=layout.n_outputs,
+                                 n_scratch=layout.n_scratch,
+                                 n_undo=layout.n_undo,
+                                 n_scan=layout.n_scan)
+        block = TransactionBlock(self.dram, txn_id=self._txn_counter,
+                                 proc_id=proc_id, layout=layout)
+        block.set_inputs(list(inputs))
+        block.home_worker = worker if worker is not None else 0
+        return block
+
+    def submit(self, block: TransactionBlock,
+               worker: Optional[int] = None) -> None:
+        w = worker if worker is not None else getattr(block, "home_worker", 0)
+        block.submitted_at_ns = self.engine.now
+        self.workers[w].softcore.submit(block)
+
+    def _on_txn_done(self, block: TransactionBlock) -> None:
+        self._done_count += 1
+        block.done_at_ns = self.engine.now
+
+    # -- running -----------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation until idle (or ``until`` ns)."""
+        now = self.engine.run(until=until)
+        self._check_health()
+        return now
+
+    def _check_health(self) -> None:
+        """Re-raise any exception that killed a worker's softcore —
+        silent worker death must never masquerade as a quiet run."""
+        for worker in self.workers:
+            proc = worker.softcore._proc
+            if proc.triggered:
+                _ = proc.value  # raises the stored exception if it failed
+
+    def run_all(self, blocks: Sequence[TransactionBlock],
+                workers: Optional[Sequence[int]] = None) -> RunReport:
+        """Submit ``blocks`` (optionally with explicit home workers), run
+        to completion and summarise."""
+        start_committed = self._committed_total()
+        start_aborted = self._aborted_total()
+        start_ns = self.engine.now
+        for i, block in enumerate(blocks):
+            self.submit(block, workers[i] if workers is not None else None)
+        self.run()
+        latencies = [block.done_at_ns - block.submitted_at_ns
+                     for block in blocks
+                     if getattr(block, "done_at_ns", None) is not None
+                     and block.header.status is TxnStatus.COMMITTED]
+        return RunReport(
+            submitted=len(blocks),
+            committed=self._committed_total() - start_committed,
+            aborted=self._aborted_total() - start_aborted,
+            elapsed_ns=self.engine.now - start_ns,
+            latencies_ns=latencies,
+        )
+
+    def run_to_commit(self, blocks: Sequence[TransactionBlock],
+                      workers: Optional[Sequence[int]] = None,
+                      max_rounds: int = 200) -> RunReport:
+        """Submit ``blocks`` and retry aborted transactions until every
+        one commits (the usual client policy under timestamp-ordering
+        CC, whose blind dirty rejection makes aborts routine on
+        contended workloads such as TPC-C's warehouse row)."""
+        homes = (list(workers) if workers is not None
+                 else [getattr(b, "home_worker", 0) for b in blocks])
+        start_ns = self.engine.now
+        total_aborts = 0
+        pending = list(zip(blocks, homes))
+        for _round in range(max_rounds):
+            for block, home in pending:
+                self.submit(block, home)
+            self.run()
+            failed = [(b, h) for b, h in pending
+                      if b.header.status is not TxnStatus.COMMITTED]
+            total_aborts += len(failed)
+            if not failed:
+                break
+            for block, _home in failed:
+                block.reset_for_replay()
+            pending = failed
+        else:
+            raise RuntimeError(
+                f"{len(pending)} transactions failed to commit after "
+                f"{max_rounds} retry rounds")
+        latencies = [b.done_at_ns - b.submitted_at_ns for b in blocks
+                     if getattr(b, "done_at_ns", None) is not None]
+        return RunReport(submitted=len(blocks), committed=len(blocks),
+                         aborted=total_aborts,
+                         elapsed_ns=self.engine.now - start_ns,
+                         latencies_ns=latencies)
+
+    def _committed_total(self) -> int:
+        return sum(self.stats.counter(f"worker{w}.committed").value
+                   for w in range(self.config.n_workers))
+
+    def _aborted_total(self) -> int:
+        return sum(self.stats.counter(f"worker{w}.aborted").value
+                   for w in range(self.config.n_workers))
+
+    # -- knobs used by benchmark sweeps -----------------------------------------
+    def set_total_in_flight(self, n: int) -> None:
+        """Spread a system-wide in-flight budget over the coprocessors
+        (the Figure 10/11 x-axis)."""
+        if n < 1:
+            raise ValueError("in-flight budget must be >= 1")
+        w = self.config.n_workers
+        base, extra = divmod(n, w)
+        for i, worker in enumerate(self.workers):
+            worker.set_max_in_flight(max(1, base + (1 if i < extra else 0)))
+
+    # -- resource & power accounting (Table 4, §5.8) -------------------------------
+    def resource_ledger(self) -> ResourceLedger:
+        from ..sim.resources import DEVICES
+        costs = per_worker_costs()
+        cfg = self.config
+        device, platform = DEVICES[cfg.device]
+        ledger = ResourceLedger(device=device, platform=platform)
+        # crossbar wiring grows quadratically in workers (per-worker cost
+        # grows linearly); the ring's per-worker station is constant —
+        # the §4.6 scaling argument, normalised so 4 workers match Table 4
+        if cfg.comm_topology == "crossbar":
+            comm_vec = costs["communication"] * max(1, -(-cfg.n_workers // 4))
+        else:
+            comm_vec = costs["communication"]
+        for w in range(cfg.n_workers):
+            inst = f"w{w}"
+            hash_vec = costs["hash.base"] + costs["hash.traverse"] * cfg.hash_traverse_stages
+            ledger.add("Hash", hash_vec, inst)
+            sl_vec = (costs["skiplist.base"]
+                      + costs["skiplist.stage"] * cfg.skiplist_stages
+                      + costs["skiplist.scanner"] * cfg.skiplist_scanners)
+            ledger.add("Skiplist", sl_vec, inst)
+            ledger.add("Softcore", costs["softcore"], inst)
+            ledger.add("Catalogue", costs["catalogue"], inst)
+            ledger.add("Communication", comm_vec, inst)
+            ledger.add("Memory arbiters", costs["memory_arbiter"], inst)
+        return ledger
+
+    def power_report(self, activity: Optional[float] = None) -> PowerReport:
+        return FpgaPowerModel().estimate(self.resource_ledger(), activity=activity)
+
+    def baseline_power_w(self, cores: int) -> float:
+        return CpuPowerModel().estimate_w(cores)
+
+    # -- verification helpers -------------------------------------------------------
+    def lookup(self, table_id: int, key: Any,
+               partition: Optional[int] = None):
+        """Timing-free read of a committed-or-not row (host debugging)."""
+        schema = self.schemas.table(table_id)
+        w = partition if partition is not None else (
+            0 if schema.replicated else schema.route(key, self.config.n_workers))
+        worker = self.workers[w]
+        if schema.index_kind == IndexKind.HASH:
+            return worker.hash_pipe.lookup_direct(key, table_id=table_id)
+        return worker.skiplist_pipe.lookup_direct(key, table_id=table_id)

@@ -1,0 +1,5 @@
+"""DORA-style partitioning: partition workers and routing."""
+
+from .worker import PartitionWorker
+
+__all__ = ["PartitionWorker"]

@@ -1,0 +1,14 @@
+"""Host-CPU duties: durable clients, command logging, recovery."""
+
+from .client import DurableClient
+from .command_log import CommandLog, LogRecord
+from .maintenance import CompactionStats, compact
+from .open_loop import OpenLoopClient, OpenLoopReport
+from .recovery import Checkpoint, RecoveryError, RecoveryManager, take_checkpoint
+
+__all__ = [
+    "DurableClient", "CommandLog", "LogRecord",
+    "Checkpoint", "RecoveryError", "RecoveryManager", "take_checkpoint",
+    "OpenLoopClient", "OpenLoopReport",
+    "CompactionStats", "compact",
+]

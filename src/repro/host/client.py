@@ -1,0 +1,55 @@
+"""A durable client driver: submit through the command log.
+
+Wraps :class:`BionicDB` submission with the §4.8 protocol: every input
+transaction block is appended to the command log before execution and
+finalised (with its commit state and timestamp) afterwards, so a crash
+between the two leaves a replayable record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.system import BionicDB, RunReport
+from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
+from .command_log import CommandLog
+
+__all__ = ["DurableClient"]
+
+
+class DurableClient:
+    def __init__(self, db: BionicDB, log: Optional[CommandLog] = None):
+        self.db = db
+        self.log = log or CommandLog()
+
+    def execute(self, proc_id: int, inputs: Sequence,
+                layout: Optional[BlockLayout] = None,
+                worker: int = 0) -> TransactionBlock:
+        """Run one transaction durably; returns the finished block."""
+        block = self.db.new_block(proc_id, list(inputs), layout=layout,
+                                  worker=worker)
+        self.log.append_pending(block)
+        self.db.submit(block, worker)
+        self.db.run()
+        self.log.finalize(block)
+        return block
+
+    def execute_batch(self, requests: Sequence[tuple]) -> List[TransactionBlock]:
+        """Run (proc_id, inputs, layout, worker) tuples concurrently,
+        logging each before submission."""
+        blocks = []
+        for proc_id, inputs, layout, worker in requests:
+            block = self.db.new_block(proc_id, list(inputs), layout=layout,
+                                      worker=worker)
+            self.log.append_pending(block)
+            blocks.append((block, worker))
+        for block, worker in blocks:
+            self.db.submit(block, worker)
+        self.db.run()
+        for block, _worker in blocks:
+            self.log.finalize(block)
+        return [b for b, _w in blocks]
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for r in self.log.records() if r.status == "committed")

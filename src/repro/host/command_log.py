@@ -1,0 +1,120 @@
+"""Command logging (§4.8).
+
+BionicDB's recovery design follows VoltDB's command-logging approach:
+the host CPU persists every *input* transaction block before returning
+it to the client; after a failure it reloads the last checkpoint and
+re-executes the committed blocks in commit-timestamp order.  Each
+executed block already carries its commit state and commit timestamp,
+preserving the input arguments — which is exactly what a command-log
+record needs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from ..mem.txnblock import TransactionBlock, TxnStatus
+
+__all__ = ["LogRecord", "CommandLog"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable command-log entry."""
+
+    txn_id: int
+    proc_id: int
+    inputs: tuple
+    home_worker: int
+    layout_inputs: int
+    layout_outputs: int
+    layout_scratch: int
+    layout_undo: int
+    layout_scan: int
+    status: str = "pending"
+    commit_ts: int = 0
+
+    @classmethod
+    def from_block(cls, block: TransactionBlock) -> "LogRecord":
+        layout = block.layout
+        inputs = tuple(block.input_cell(i) for i in range(layout.n_inputs))
+        return cls(
+            txn_id=block.txn_id, proc_id=block.proc_id, inputs=inputs,
+            home_worker=getattr(block, "home_worker", 0),
+            layout_inputs=layout.n_inputs, layout_outputs=layout.n_outputs,
+            layout_scratch=layout.n_scratch, layout_undo=layout.n_undo,
+            layout_scan=layout.n_scan,
+            status=block.header.status.value,
+            commit_ts=block.header.commit_ts,
+        )
+
+
+class CommandLog:
+    """An append-only log of transaction blocks.
+
+    Records are appended *before* execution (so the input survives a
+    crash) and finalised afterwards with the commit state.  ``save`` /
+    ``load`` move the log to and from durable storage.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self._index: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append_pending(self, block: TransactionBlock) -> None:
+        if block.txn_id in self._index:
+            raise ValueError(f"txn {block.txn_id} already logged")
+        record = LogRecord.from_block(block)
+        self._index[block.txn_id] = len(self._records)
+        self._records.append(record)
+
+    def finalize(self, block: TransactionBlock) -> None:
+        """Record the commit state after execution."""
+        try:
+            pos = self._index[block.txn_id]
+        except KeyError:
+            raise ValueError(f"txn {block.txn_id} was never logged") from None
+        old = self._records[pos]
+        self._records[pos] = LogRecord(
+            txn_id=old.txn_id, proc_id=old.proc_id, inputs=old.inputs,
+            home_worker=old.home_worker,
+            layout_inputs=old.layout_inputs, layout_outputs=old.layout_outputs,
+            layout_scratch=old.layout_scratch, layout_undo=old.layout_undo,
+            layout_scan=old.layout_scan,
+            status=block.header.status.value,
+            commit_ts=block.header.commit_ts,
+        )
+
+    def records(self) -> Sequence[LogRecord]:
+        return tuple(self._records)
+
+    def committed_in_order(self) -> List[LogRecord]:
+        """Committed records sorted by commit timestamp — the replay
+        order §4.8 requires."""
+        committed = [r for r in self._records
+                     if r.status == TxnStatus.COMMITTED.value]
+        return sorted(committed, key=lambda r: r.commit_ts)
+
+    @property
+    def max_commit_ts(self) -> int:
+        return max((r.commit_ts for r in self._records
+                    if r.status == TxnStatus.COMMITTED.value), default=0)
+
+    # -- durability ------------------------------------------------------
+    def save(self, path) -> None:
+        with open(Path(path), "wb") as f:
+            pickle.dump(self._records, f)
+
+    @classmethod
+    def load(cls, path) -> "CommandLog":
+        log = cls()
+        with open(Path(path), "rb") as f:
+            log._records = pickle.load(f)
+        log._index = {r.txn_id: i for i, r in enumerate(log._records)}
+        return log

@@ -1,0 +1,94 @@
+"""Open-loop load generation: clients that do not wait.
+
+The paper pre-populates input transaction blocks and measures saturated
+throughput ("ideally, remote clients should submit transaction blocks
+through network cards", §5.1).  This module models those clients: an
+open-loop generator submits blocks at Poisson arrival times regardless
+of completions, which is what exposes the latency-vs-load hockey stick
+closed-loop benchmarks hide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.system import BionicDB, RunReport
+from ..mem.txnblock import TransactionBlock, TxnStatus
+
+__all__ = ["OpenLoopClient", "OpenLoopReport"]
+
+
+@dataclass
+class OpenLoopReport:
+    offered_tps: float
+    committed: int
+    aborted: int
+    elapsed_ns: float
+    latencies_ns: List[float]
+
+    @property
+    def achieved_tps(self) -> float:
+        return self.committed / (self.elapsed_ns * 1e-9) if self.elapsed_ns else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return (sum(self.latencies_ns) / len(self.latencies_ns)
+                if self.latencies_ns else 0.0)
+
+    def percentile_ns(self, p: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        ordered = sorted(self.latencies_ns)
+        rank = max(1, -(-len(ordered) * p // 100))
+        return ordered[int(rank) - 1]
+
+
+class OpenLoopClient:
+    """Poisson arrivals into a BionicDB."""
+
+    def __init__(self, db: BionicDB, seed: int = 1):
+        self.db = db
+        self._rng = random.Random(seed)
+
+    def run(self,
+            make_txn: Callable[[int], Tuple[TransactionBlock, int]],
+            n_txns: int,
+            offered_tps: float) -> OpenLoopReport:
+        """Submit ``n_txns`` blocks at ``offered_tps`` mean arrival rate.
+
+        ``make_txn(i)`` returns (block, home_worker).  Blocks are
+        created lazily at their arrival instants, exactly as a network
+        client would deliver them.
+        """
+        if offered_tps <= 0:
+            raise ValueError("offered rate must be positive")
+        db = self.db
+        blocks: List[TransactionBlock] = []
+        mean_gap_ns = 1e9 / offered_tps
+
+        def arrival_process():
+            for i in range(n_txns):
+                block, home = make_txn(i)
+                blocks.append(block)
+                db.submit(block, home)
+                yield db.engine.timeout(self._rng.expovariate(1.0) * mean_gap_ns)
+
+        start_committed = db._committed_total()
+        start_aborted = db._aborted_total()
+        start_ns = db.engine.now
+        db.engine.process(arrival_process(), name="open-loop-client")
+        db.run()
+        latencies = [b.done_at_ns - b.submitted_at_ns for b in blocks
+                     if getattr(b, "done_at_ns", None) is not None
+                     and b.header.status is TxnStatus.COMMITTED]
+        return OpenLoopReport(
+            offered_tps=offered_tps,
+            committed=db._committed_total() - start_committed,
+            aborted=db._aborted_total() - start_aborted,
+            elapsed_ns=db.engine.now - start_ns,
+            latencies_ns=latencies,
+        )

@@ -1,0 +1,11 @@
+"""The index coprocessor: hash and skiplist pipelines."""
+
+from .common import DbRequest, IndexError_, PipelineBase, sdbm_hash
+from .hash.pipeline import HashIndexPipeline, HashTimings
+from .skiplist.pipeline import SkiplistPipeline, SkiplistTimings, compute_level_ranges
+
+__all__ = [
+    "DbRequest", "IndexError_", "PipelineBase", "sdbm_hash",
+    "HashIndexPipeline", "HashTimings",
+    "SkiplistPipeline", "SkiplistTimings", "compute_level_ranges",
+]

@@ -1,0 +1,200 @@
+"""Shared machinery for the index coprocessor pipelines.
+
+A :class:`DbRequest` is the in-flight form of a DB instruction: it
+carries the operation, the transaction's timestamp, where the search
+key lives (a transaction-block cell, fetched by the KeyFetch stage) or
+an inline key value (when the stored procedure supplied it from a GP
+register), and a completion callback that routes the result back to
+the initiating worker's CP register — directly for foreground
+(local) requests, or over the on-chip channels for background
+(remote) ones.
+
+The paper's Figure 10/11 sweeps cap "the maximum number of in-flight
+DB requests over the index coprocessor"; :class:`IndexCoprocessor`
+implements that cap with a token pool acquired at pipeline entry and
+released by terminal stages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..isa.instructions import Opcode
+from ..sim.clock import ClockDomain
+from ..sim.engine import Engine
+from ..sim.memory import DramModel, MemoryPort
+from ..sim.stats import StatsRegistry
+from ..sim.sync import Fifo, TokenPool
+from ..sim.trace import NULL_TRACER
+from ..txn.cc import DbResult, ResultCode
+
+__all__ = ["DbRequest", "PipelineBase", "sdbm_hash", "IndexError_"]
+
+_request_ids = itertools.count(1)
+
+
+class IndexError_(RuntimeError):
+    """Mis-dispatched DB instruction (e.g. SCAN on a hash index)."""
+
+
+def _key_bytes(key: Any) -> bytes:
+    """Serialise a key the way the hardware would see it on the wire.
+
+    Integers become 8-byte little-endian words (widened if needed),
+    strings/bytes pass through, and composite keys concatenate their
+    parts — both indexes support variable-length keys (§4.4).
+    """
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, bool):
+        return b"\x01" if key else b"\x00"
+    if isinstance(key, int):
+        length = max(8, (key.bit_length() + 8) // 8)
+        return key.to_bytes(length, "little", signed=True)
+    if isinstance(key, str):
+        return key.encode()
+    if isinstance(key, tuple):
+        return b"\x1f".join(_key_bytes(part) for part in key)
+    return repr(key).encode()
+
+
+def sdbm_hash(key: Any) -> int:
+    """The Sdbm hash (chosen by the paper for its minimal hardware cost:
+    no lookup table, no modulo — shifts and adds only).  The 64-bit
+    result is xor-folded so the bucket index can be taken with a plain
+    mask/mod without the low-bit clustering raw Sdbm exhibits on short
+    binary keys.
+    """
+    h = 0
+    for byte in _key_bytes(key):
+        h = (byte + (h << 6) + (h << 16) - h) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 33
+    h ^= h >> 17
+    return h
+
+
+@dataclass
+class DbRequest:
+    """An in-flight DB instruction inside (or bound for) a coprocessor."""
+
+    op: Opcode
+    table_id: int
+    ts: int                                  # transaction begin timestamp
+    txn_id: int
+    key_addr: Optional[int] = None           # txn-block cell holding the key
+    key_value: Any = None                    # inline key (skips KeyFetch read)
+    insert_payload: Any = None               # field list for INSERT
+    payload_addr: Optional[int] = None       # txn-block cell holding the fields
+    scan_count: int = 0                      # SCAN: tuples requested
+    scan_out_addr: int = 0                   # SCAN: first output cell
+    scan_limit: int = 0                      # SCAN: output buffer capacity
+    src_worker: int = 0                      # initiating worker id
+    cp_index: Optional[int] = None           # destination CP register
+    route_key: Any = None                    # routing key (known at Dispatch)
+    background: bool = False                 # arrived via on-chip channels
+    on_complete: Optional[Callable[["DbRequest", DbResult], None]] = None
+    on_write_effect: Optional[Callable[["DbRequest", DbResult], None]] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # filled during pipeline traversal
+    key: Any = None
+    result: Optional[DbResult] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.op in (Opcode.INSERT, Opcode.UPDATE, Opcode.REMOVE)
+
+    def finish(self, result: DbResult) -> None:
+        if self.result is not None:
+            raise IndexError_(f"request {self.req_id} completed twice")
+        self.result = result
+        if result.ok and self.is_write and self.on_write_effect is not None:
+            self.on_write_effect(self, result)
+        if self.on_complete is not None:
+            self.on_complete(self, result)
+
+
+class PipelineBase:
+    """Common scaffolding: entry queue, in-flight token pool, ports.
+
+    Subclasses build their stage graph in ``_build()`` and must call
+    ``self._done(req, result)`` from terminal stages.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        clock: ClockDomain,
+        dram: DramModel,
+        name: str,
+        max_in_flight: int = 16,
+        read_issue_interval_cycles: float = 24.0,
+        write_issue_interval_cycles: float = 8.0,
+        stats: Optional[StatsRegistry] = None,
+        tracer=None,
+    ):
+        self.engine = engine
+        self.clock = clock
+        self.dram = dram
+        self.name = name
+        self.stats = stats or StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_category = "hash" if "hash" in name else "skiplist"
+        self.entry = Fifo(engine, name=f"{name}.entry")
+        self.tokens = TokenPool(engine, max_in_flight, name=f"{name}.inflight")
+        # One read port per coprocessor pipeline: its issue interval is the
+        # modelled HC-2 port arbitration cost and the throughput anchor for
+        # Figure 10 (see DESIGN.md §5).
+        self.read_port: MemoryPort = dram.new_port(
+            f"{name}.rd", max_outstanding=64,
+            issue_interval_cycles=read_issue_interval_cycles)
+        self.write_port: MemoryPort = dram.new_port(
+            f"{name}.wr", max_outstanding=64,
+            issue_interval_cycles=write_issue_interval_cycles)
+        self.completed = self.stats.counter(f"{name}.completed")
+        self.errors = self.stats.counter(f"{name}.errors")
+        self._build()
+        self._admit_proc = engine.process(self._admit_loop(), name=f"{name}.admit")
+
+    # -- subclass hooks -------------------------------------------------
+    def _build(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _enter(self, req: DbRequest) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- public ----------------------------------------------------------
+    def submit(self, req: DbRequest) -> None:
+        """Queue a request; the softcore never blocks on dispatch."""
+        self.entry.put(req)
+
+    def set_max_in_flight(self, n: int) -> None:
+        self.tokens.resize(n)
+
+    # -- shared plumbing ----------------------------------------------------
+    def _admit_loop(self):
+        while True:
+            req = yield self.entry.get()
+            yield self.tokens.acquire()
+            if self.tracer.enabled:
+                self.tracer.emit(self.trace_category, self.name,
+                                 f"enter {req.op.value} txn={req.txn_id}"
+                                 + (" (background)" if req.background else ""))
+            self._enter(req)
+
+    def _done(self, req: DbRequest, result: DbResult) -> None:
+        self.tokens.release()
+        self.completed.add()
+        if not result.ok:
+            self.errors.add()
+        if self.tracer.enabled:
+            self.tracer.emit(self.trace_category, self.name,
+                             f"done {req.op.value} txn={req.txn_id} "
+                             f"key={req.key!r} -> {result.code.name}")
+        req.finish(result)
+
+    def _forward(self, queue: Fifo, item: Any) -> None:
+        """Unbounded inter-stage handoff (fire and forget)."""
+        queue.put(item)

@@ -1,0 +1,6 @@
+"""Hash index pipeline for point access."""
+
+from .locktable import HazardLockTable
+from .pipeline import HashIndexPipeline, HashTimings
+
+__all__ = ["HazardLockTable", "HashIndexPipeline", "HashTimings"]

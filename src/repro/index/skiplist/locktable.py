@@ -1,0 +1,83 @@
+"""Skiplist hazard lock table (§4.4.2, Figure 7).
+
+For every in-flight INSERT the entry point of its insert path — the
+predecessor tower at the new tower's top level — is recorded in a BRAM
+lock table.  All skiplist pipeline stages check the table before
+switching to the next tower or dropping to a lower level, and block
+when they encounter a locked (tower, level) traversal point.  The lock
+is deleted by the bottom-level stage when the insert completes.
+
+Scans never check the table: skiplist range scan is stall-free because
+the bottom-level stage serialises requests, so every previously
+accepted insert is visible on the bottom link (§4.4.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from ...sim.engine import Engine, Event
+from ...sim.memory import Bram
+
+__all__ = ["SkiplistLockTable"]
+
+Key = Tuple[int, int]  # (tower address, level)
+
+
+class _Entry:
+    __slots__ = ("held", "insert_waiters", "traversal_waiters")
+
+    def __init__(self) -> None:
+        self.held = False
+        self.insert_waiters: Deque[Event] = deque()
+        self.traversal_waiters: List[Event] = []
+
+
+class SkiplistLockTable:
+    def __init__(self, engine: Engine, name: str = "skiplist-locks"):
+        self.engine = engine
+        self.bram = Bram(name, capacity_bytes=4096)
+        self._entries: Dict[Key, _Entry] = {}
+        self.stalls = 0
+
+    def locked(self, tower_addr: int, level: int) -> bool:
+        entry = self._entries.get((tower_addr, level))
+        return entry is not None and entry.held
+
+    def acquire(self, tower_addr: int, level: int) -> Event:
+        """Lock an insert path's entry point; FIFO among inserts."""
+        ev = Event(self.engine)
+        entry = self._entries.setdefault((tower_addr, level), _Entry())
+        if not entry.held:
+            entry.held = True
+            ev.succeed(None)
+        else:
+            self.stalls += 1
+            entry.insert_waiters.append(ev)
+        return ev
+
+    def release(self, tower_addr: int, level: int) -> None:
+        key = (tower_addr, level)
+        entry = self._entries.get(key)
+        if entry is None or not entry.held:
+            raise RuntimeError(f"release of unlocked path point {key}")
+        if entry.insert_waiters:
+            entry.insert_waiters.popleft().succeed(None)
+            return
+        entry.held = False
+        waiters, entry.traversal_waiters = entry.traversal_waiters, []
+        del self._entries[key]
+        for ev in waiters:
+            ev.succeed(None)
+
+    def wait_clear(self, tower_addr: int, level: int) -> Event:
+        """Traversal check before moving onto / descending at a tower."""
+        ev = Event(self.engine)
+        entry = self._entries.get((tower_addr, level))
+        if entry is None or not entry.held:
+            ev.succeed(None)
+        else:
+            self.stalls += 1
+            entry.traversal_waiters.append(ev)
+        return ev

@@ -1,0 +1,16 @@
+"""BionicDB instruction set, assembler and procedure builder."""
+
+from .assembler import AssemblyError, assemble, assemble_one
+from .builder import ProcedureBuilder
+from .disassembler import disassemble
+from .instructions import (
+    BlockRef, Cp, CPU_OPCODES, DB_OPCODES, FieldRef, Gp, Imm, Instruction,
+    IsaError, Label, Opcode, Program, Section,
+)
+
+__all__ = [
+    "AssemblyError", "assemble", "assemble_one", "ProcedureBuilder",
+    "disassemble", "BlockRef", "Cp", "CPU_OPCODES", "DB_OPCODES",
+    "FieldRef", "Gp", "Imm", "Instruction", "IsaError", "Label",
+    "Opcode", "Program", "Section",
+]

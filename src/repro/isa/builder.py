@@ -1,0 +1,194 @@
+"""Fluent builder for BionicDB stored procedures.
+
+The paper's procedures were hand-written in the BionicDB ISA; the
+builder is the programmatic equivalent (the text assembler in
+:mod:`repro.isa.assembler` is the other).  Workload definitions use it
+to emit YCSB and TPC-C procedures.
+
+Example::
+
+    b = ProcedureBuilder("ycsb_read_1")
+    b.search(cp=0, table=0, key=b.at(0))
+    b.ret(1, 0)
+    b.store(Gp(1), b.at(8))         # write tuple address to output buffer
+    prog = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .instructions import (
+    BlockRef, Cp, FieldRef, Gp, Imm, Instruction, IsaError, Label, Opcode,
+    Program, Section,
+)
+
+__all__ = ["ProcedureBuilder"]
+
+Value = Union[Gp, Imm, int]
+
+
+def _val(x: Value) -> Union[Gp, Imm]:
+    if isinstance(x, (Gp, Imm)):
+        return x
+    return Imm(x)
+
+
+def _gp(x: Union[Gp, int]) -> Gp:
+    return x if isinstance(x, Gp) else Gp(x)
+
+
+def _cp(x: Union[Cp, int]) -> Cp:
+    return x if isinstance(x, Cp) else Cp(x)
+
+
+class ProcedureBuilder:
+    """Accumulates instructions into the three sections of a Program."""
+
+    def __init__(self, name: str):
+        self.program = Program(name)
+        self._section = Section.LOGIC
+
+    # -- section control -------------------------------------------------
+    def in_section(self, section: Section) -> "ProcedureBuilder":
+        self._section = section
+        return self
+
+    def logic(self) -> "ProcedureBuilder":
+        return self.in_section(Section.LOGIC)
+
+    def commit_handler(self) -> "ProcedureBuilder":
+        return self.in_section(Section.COMMIT)
+
+    def abort_handler(self) -> "ProcedureBuilder":
+        return self.in_section(Section.ABORT)
+
+    def label(self, name: str) -> "ProcedureBuilder":
+        key = (self._section, name)
+        if key in self.program.labels:
+            raise IsaError(f"duplicate label {name!r}")
+        self.program.labels[key] = len(self.program.section(self._section))
+        return self
+
+    # -- operand helpers ---------------------------------------------------
+    @staticmethod
+    def at(offset: Union[int, Gp], extra: int = 0) -> BlockRef:
+        """Transaction-block-relative operand (``@offset``)."""
+        return BlockRef(offset, extra)
+
+    @staticmethod
+    def fld(base: Union[Gp, int], field: int = 0) -> FieldRef:
+        """Tuple-field operand (``[rN+field]``)."""
+        return FieldRef(_gp(base), field)
+
+    # -- DB instructions -----------------------------------------------------
+    def _db(self, op: Opcode, cp: Union[Cp, int], table: int,
+            key: Union[BlockRef, Gp, int], count: Optional[Value] = None,
+            out: Optional[BlockRef] = None) -> "ProcedureBuilder":
+        if isinstance(key, int):
+            key = BlockRef(key)
+        inst = Instruction(op, cp=_cp(cp), table=table, key=key)
+        if op is Opcode.SCAN:
+            inst.a = _val(count if count is not None else 0)
+            inst.addr = out
+        return self._emit(inst)
+
+    def insert(self, cp, table, key,
+               payload: Optional[BlockRef] = None) -> "ProcedureBuilder":
+        """INSERT a row.  With a BlockRef key, the block cell holds a
+        ``(key, fields)`` pair; with a computed (register) key, pass a
+        ``payload`` cell holding the field list."""
+        self._db(Opcode.INSERT, cp, table, key)
+        if payload is not None:
+            self.program.section(self._section)[-1].b = payload
+        return self
+
+    def search(self, cp, table, key) -> "ProcedureBuilder":
+        return self._db(Opcode.SEARCH, cp, table, key)
+
+    def update(self, cp, table, key) -> "ProcedureBuilder":
+        return self._db(Opcode.UPDATE, cp, table, key)
+
+    def remove(self, cp, table, key) -> "ProcedureBuilder":
+        return self._db(Opcode.REMOVE, cp, table, key)
+
+    def scan(self, cp, table, key, count: Value, out: BlockRef) -> "ProcedureBuilder":
+        return self._db(Opcode.SCAN, cp, table, key, count=count, out=out)
+
+    # -- CPU instructions -----------------------------------------------------
+    def add(self, dst, a: Value, b: Value) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.ADD, dst=_gp(dst), a=_val(a), b=_val(b)))
+
+    def sub(self, dst, a: Value, b: Value) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.SUB, dst=_gp(dst), a=_val(a), b=_val(b)))
+
+    def mul(self, dst, a: Value, b: Value) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.MUL, dst=_gp(dst), a=_val(a), b=_val(b)))
+
+    def div(self, dst, a: Value, b: Value) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.DIV, dst=_gp(dst), a=_val(a), b=_val(b)))
+
+    def mov(self, dst, a: Value) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.MOV, dst=_gp(dst), a=_val(a)))
+
+    def cmp(self, a: Value, b: Value) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.CMP, a=_val(a), b=_val(b)))
+
+    def load(self, dst, addr: Union[BlockRef, FieldRef]) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.LOAD, dst=_gp(dst), addr=addr))
+
+    def store(self, src: Value, addr: Union[BlockRef, FieldRef]) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.STORE, a=_val(src), addr=addr))
+
+    def wrfield(self, tuple_reg: Union[Gp, int], field: int, value: Value) -> "ProcedureBuilder":
+        """Backup-and-write a tuple field (UNDO-logged in-place update)."""
+        return self._emit(Instruction(Opcode.WRFIELD, addr=FieldRef(_gp(tuple_reg), field),
+                                      a=_val(value)))
+
+    def jmp(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.JMP, target=Label(target)))
+
+    def be(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.BE, target=Label(target)))
+
+    def bne(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.BNE, target=Label(target)))
+
+    def ble(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.BLE, target=Label(target)))
+
+    def blt(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.BLT, target=Label(target)))
+
+    def bgt(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.BGT, target=Label(target)))
+
+    def bge(self, target: str) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.BGE, target=Label(target)))
+
+    def ret(self, dst, cp) -> "ProcedureBuilder":
+        """Collect a DB result: block until CP valid, copy into GP."""
+        return self._emit(Instruction(Opcode.RET, dst=_gp(dst), cp=_cp(cp)))
+
+    def retn(self, dst, cp) -> "ProcedureBuilder":
+        """Null-tolerant RET: a NOT_FOUND result writes 0 to the GP
+        register instead of trapping to the abort handler (needed for
+        probes of keys that may legitimately be absent)."""
+        return self._emit(Instruction(Opcode.RETN, dst=_gp(dst), cp=_cp(cp)))
+
+    def commit(self) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.COMMIT))
+
+    def abort(self) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.ABORT))
+
+    def nop(self) -> "ProcedureBuilder":
+        return self._emit(Instruction(Opcode.NOP))
+
+    # -- finish ----------------------------------------------------------------
+    def build(self) -> Program:
+        return self.program.finalize()
+
+    def _emit(self, inst: Instruction) -> "ProcedureBuilder":
+        self.program.section(self._section).append(inst)
+        return self

@@ -1,0 +1,87 @@
+"""Disassembler: renders a Program back to assembly text.
+
+Round-trips with :mod:`repro.isa.assembler` for all programs whose
+branch targets were resolved from labels (targets are re-labelled
+``L<index>``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    BlockRef, Cp, FieldRef, Gp, Imm, Instruction, Label, Opcode, Program, Section,
+)
+
+__all__ = ["disassemble"]
+
+
+def _operand(x) -> str:
+    if isinstance(x, Gp):
+        return f"r{x.n}"
+    if isinstance(x, Cp):
+        return f"c{x.n}"
+    if isinstance(x, Imm):
+        return f"#{x.value}"
+    if isinstance(x, BlockRef):
+        if isinstance(x.offset, Gp):
+            return f"@r{x.offset.n}" + (f"+{x.extra}" if x.extra else "")
+        return f"@{x.offset}"
+    if isinstance(x, FieldRef):
+        return f"[r{x.base.n}+{x.field}]" if x.field else f"[r{x.base.n}]"
+    if isinstance(x, Label):
+        return x.name
+    raise TypeError(f"cannot render operand {x!r}")
+
+
+def _render(inst: Instruction, target_labels: dict) -> str:
+    op = inst.opcode
+    if op in (Opcode.INSERT, Opcode.SEARCH, Opcode.UPDATE, Opcode.REMOVE):
+        text = f"{op.value} {_operand(inst.cp)}, t{inst.table}, {_operand(inst.key)}"
+        if op is Opcode.INSERT and inst.b is not None:
+            text += f", {_operand(inst.b)}"
+        return text
+    if op is Opcode.SCAN:
+        return (f"SCAN {_operand(inst.cp)}, t{inst.table}, {_operand(inst.key)}, "
+                f"{_operand(inst.a)}, {_operand(inst.addr)}")
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
+        return f"{op.value} {_operand(inst.dst)}, {_operand(inst.a)}, {_operand(inst.b)}"
+    if op is Opcode.MOV:
+        return f"MOV {_operand(inst.dst)}, {_operand(inst.a)}"
+    if op is Opcode.CMP:
+        return f"CMP {_operand(inst.a)}, {_operand(inst.b)}"
+    if op is Opcode.LOAD:
+        return f"LOAD {_operand(inst.dst)}, {_operand(inst.addr)}"
+    if op is Opcode.STORE:
+        return f"STORE {_operand(inst.a)}, {_operand(inst.addr)}"
+    if op is Opcode.WRFIELD:
+        return f"WRFIELD {_operand(inst.addr)}, {_operand(inst.a)}"
+    if op in (Opcode.JMP, Opcode.BE, Opcode.BNE, Opcode.BLE, Opcode.BLT,
+              Opcode.BGT, Opcode.BGE):
+        if isinstance(inst.target, Label):
+            return f"{op.value} {inst.target.name}"
+        return f"{op.value} {target_labels[inst.target]}"
+    if op in (Opcode.RET, Opcode.RETN):
+        return f"{op.value} {_operand(inst.dst)}, {_operand(inst.cp)}"
+    return op.value
+
+
+def disassemble(program: Program) -> str:
+    lines: List[str] = [f".proc {program.name}"]
+    for section in Section:
+        insts = program.section(section)
+        if not insts:
+            continue
+        lines.append(f".{section.value}")
+        # Collect branch targets so label definitions can be re-emitted.
+        targets = sorted({i.target for i in insts if isinstance(i.target, int)})
+        target_labels = {t: f"L{t}" for t in targets}
+        for idx, inst in enumerate(insts):
+            if idx in target_labels:
+                lines.append(f"{target_labels[idx]}:")
+            lines.append(f"    {_render(inst, target_labels)}")
+        # A target one past the last instruction (loop exits) still needs a label.
+        if len(insts) in target_labels:
+            lines.append(f"{target_labels[len(insts)]}:")
+            lines.append("    NOP")
+    return "\n".join(lines) + "\n"

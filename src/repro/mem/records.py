@@ -1,0 +1,103 @@
+"""On-DRAM record layouts: tuples, hash buckets and skiplist towers.
+
+Each record occupies one heap cell (one modelled 64-byte line holding
+the header fields the pipelines actually touch: key, chain/tower
+pointers, timestamps and flag bits).  Wide payloads are stored in
+separate payload cells addressed via ``payload_addr`` when a workload
+chooses to materialise them (YCSB's 1 KB rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["TupleRecord", "Tower", "NULL_ADDR", "PAYLOAD_CELL_BYTES"]
+
+#: Sentinel for "no pointer" (hash-chain end / tower link end).
+NULL_ADDR = 0
+
+#: One payload cell models one 64-byte line of out-of-line payload.
+PAYLOAD_CELL_BYTES = 64
+
+
+@dataclass
+class TupleRecord:
+    """A hash-index tuple: header line with key, fields and CC metadata."""
+
+    key: Any
+    fields: List[Any]
+    addr: int = NULL_ADDR
+    next_addr: int = NULL_ADDR          # hash-conflict chain
+    read_ts: int = 0
+    write_ts: int = 0
+    dirty: bool = False
+    tombstone: bool = False
+    payload_addr: int = NULL_ADDR       # first out-of-line payload cell
+    payload_cells: int = 0
+
+    def visible_at(self, ts: int) -> bool:
+        """Committed and in the past of ``ts`` (scan/read visibility)."""
+        return not self.dirty and not self.tombstone and self.write_ts <= ts
+
+
+@dataclass
+class Tower:
+    """A skiplist tower: tuple data plus next-pointers per level.
+
+    ``nexts[l]`` is the address of the next tower at level ``l``; the
+    tower participates in levels ``0 .. height-1``.
+    """
+
+    key: Any
+    fields: List[Any]
+    height: int
+    nexts: List[int] = field(default_factory=list)
+    addr: int = NULL_ADDR
+    read_ts: int = 0
+    write_ts: int = 0
+    dirty: bool = False
+    tombstone: bool = False
+
+    def __post_init__(self):
+        if self.height < 1:
+            raise ValueError("tower height must be >= 1")
+        if not self.nexts:
+            self.nexts = [NULL_ADDR] * self.height
+        if len(self.nexts) != self.height:
+            raise ValueError("nexts length must equal height")
+
+    def visible_at(self, ts: int) -> bool:
+        return not self.dirty and not self.tombstone and self.write_ts <= ts
+
+
+def head_tower(height: int) -> Tower:
+    """The -inf sentinel tower that heads every skiplist level."""
+    return Tower(key=_MinKey(), fields=[], height=height)
+
+
+class _MinKey:
+    """Compares below every other key (the -inf sentinel)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return True
+
+    def __le__(self, other) -> bool:
+        return True
+
+    def __gt__(self, other) -> bool:
+        return False
+
+    def __ge__(self, other) -> bool:
+        return isinstance(other, _MinKey)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _MinKey)
+
+    def __hash__(self) -> int:
+        return hash("_MinKey")
+
+    def __repr__(self) -> str:
+        return "-inf"

@@ -1,0 +1,87 @@
+"""Table schemas and partition maps for the DORA-style partitioned DB.
+
+The database is horizontally partitioned; each partition is owned by
+exactly one partition worker (§3.1, §4.6).  A :class:`TableSchema`
+names the table, chooses its index kind (hash for point access,
+skiplist for range scans) and carries the partition-routing function.
+Replicated read-only tables (TPC-C's Item) are materialised in every
+partition and always routed locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["IndexKind", "TableSchema", "Catalog", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised for schema misconfiguration."""
+
+
+class IndexKind:
+    HASH = "hash"
+    SKIPLIST = "skiplist"
+
+
+def _default_partition(key: Any, n_partitions: int) -> int:
+    """Default routing: stable hash of the key."""
+    return hash(key) % n_partitions
+
+
+@dataclass
+class TableSchema:
+    table_id: int
+    name: str
+    index_kind: str = IndexKind.HASH
+    n_fields: int = 1
+    hash_buckets: int = 1 << 16
+    replicated: bool = False
+    #: maps (key, n_partitions) -> partition id; ignored when replicated.
+    partition_fn: Callable[[Any, int], int] = _default_partition
+
+    def __post_init__(self):
+        if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST):
+            raise SchemaError(f"unknown index kind {self.index_kind!r}")
+        if self.hash_buckets < 1:
+            raise SchemaError("hash_buckets must be >= 1")
+
+    def route(self, key: Any, n_partitions: int) -> Optional[int]:
+        """Partition owning ``key``; None means "local" (replicated)."""
+        if self.replicated:
+            return None
+        return self.partition_fn(key, n_partitions)
+
+
+class Catalog:
+    """The set of table schemas shared by all partitions."""
+
+    def __init__(self, tables: Optional[List[TableSchema]] = None):
+        self._tables: Dict[int, TableSchema] = {}
+        for t in tables or []:
+            self.add(t)
+
+    def add(self, schema: TableSchema) -> TableSchema:
+        if schema.table_id in self._tables:
+            raise SchemaError(f"duplicate table id {schema.table_id}")
+        self._tables[schema.table_id] = schema
+        return schema
+
+    def table(self, table_id: int) -> TableSchema:
+        try:
+            return self._tables[table_id]
+        except KeyError:
+            raise SchemaError(f"unknown table id {table_id}") from None
+
+    def by_name(self, name: str) -> TableSchema:
+        for t in self._tables.values():
+            if t.name == name:
+                return t
+        raise SchemaError(f"unknown table {name!r}")
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate for the BionicDB reproduction."""
+
+from .clock import ClockDomain
+from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .memory import Bram, DramModel, Heap, MemoryPort, LINE_BYTES
+from .power import CpuPowerModel, FpgaPowerModel, PowerReport
+from .resources import (
+    HC2_INFRASTRUCTURE,
+    ResourceLedger,
+    ResourceVector,
+    VIRTEX5_LX330,
+    per_worker_costs,
+)
+from .stats import Counter, Histogram, StatsRegistry
+from .sync import Fifo, Gate, Mutex, TokenPool
+from .trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "AllOf", "AnyOf", "Engine", "Event", "Interrupt", "Process",
+    "SimulationError", "Timeout", "ClockDomain",
+    "Bram", "DramModel", "Heap", "MemoryPort", "LINE_BYTES",
+    "CpuPowerModel", "FpgaPowerModel", "PowerReport",
+    "HC2_INFRASTRUCTURE", "ResourceLedger", "ResourceVector",
+    "VIRTEX5_LX330", "per_worker_costs",
+    "Counter", "Histogram", "StatsRegistry",
+    "Fifo", "Gate", "Mutex", "TokenPool",
+    "NULL_TRACER", "TraceEvent", "Tracer",
+]

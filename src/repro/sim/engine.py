@@ -1,0 +1,324 @@
+"""Discrete-event simulation engine.
+
+Everything in the BionicDB reproduction — pipeline stages, the softcore,
+DRAM, on-chip channels, the software baseline's CPU cores — runs as a
+*process* inside one :class:`Engine`.  A process is a Python generator
+that yields :class:`Event` objects (or plain numbers, treated as delays
+in the engine's time unit) and is resumed when the yielded event fires.
+
+The design follows the familiar SimPy structure but is implemented from
+scratch so the simulation core has no external dependencies and stays
+small enough to audit.  Time is a float measured in **nanoseconds**;
+clock domains (:mod:`repro.sim.clock`) convert cycles to nanoseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either with :meth:`succeed`
+    (delivering ``value`` to waiters) or :meth:`fail` (raising the given
+    exception inside waiters).
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exc", "triggered", "_scheduled")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        self._scheduled = False
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exc is None
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.engine._dispatch(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.engine._dispatch(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(engine)
+        self._value = value
+        engine._schedule_at(engine.now + delay, self)
+
+
+class Process(Event):
+    """Runs a generator; as an Event it fires when the generator returns.
+
+    The generator's ``return`` value becomes the event value.  If the
+    generator raises, the process event fails with that exception, which
+    propagates to any process waiting on it.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        super().__init__(engine)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off on the next dispatch round at the current time.
+        start = Event(engine)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        kicker = Event(self.engine)
+        kicker.callbacks.append(lambda ev: self._step(Interrupt(cause), throw=True))
+        kicker.succeed(None)
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(event._exc, throw=True)
+        else:
+            self._step(event._value, throw=False)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        if self.triggered:
+            return
+        try:
+            if throw:
+                yielded = self._gen.throw(value)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self.fail(exc)
+            return
+        try:
+            event = self._coerce(yielded)
+        except SimulationError as exc:
+            self.fail(exc)
+            return
+        self._waiting_on = event
+        if event.triggered:
+            # Already fired: resume on the next dispatch round so other
+            # same-time callbacks run first (prevents starvation loops).
+            relay = Event(self.engine)
+            relay.callbacks.append(lambda _ev: self._resume(event))
+            relay.succeed(None)
+        else:
+            event.callbacks.append(self._resume)
+
+    def _coerce(self, yielded: Any) -> Event:
+        if isinstance(yielded, Event):
+            return yielded
+        if isinstance(yielded, (int, float)):
+            return Timeout(self.engine, yielded)
+        raise SimulationError(
+            f"process {self.name!r} yielded {yielded!r}; expected Event or delay"
+        )
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            if ev.triggered:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is (event, value)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf needs at least one event")
+        for ev in self._events:
+            if ev.triggered:
+                self._on_child(ev)
+                break
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self.succeed((event, event._value))
+
+
+class Engine:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._dispatching = False
+        self._ready: list = []
+
+    # -- public API ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute time ``when`` (≥ now)."""
+        if when < self.now:
+            raise SimulationError(f"call_at in the past: {when} < {self.now}")
+        ev = Event(self)
+        ev.callbacks.append(lambda _e: fn())
+        self._schedule_at(when, ev)
+        ev.triggered = True
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        while self._heap:
+            when, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            self._fire(event)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_done(self, done: Event, limit: float = float("inf")) -> float:
+        """Run until ``done`` triggers; raise if the heap drains first."""
+        while not done.triggered:
+            if not self._heap:
+                raise SimulationError("deadlock: event heap drained before done")
+            when, _seq, event = heapq.heappop(self._heap)
+            if when > limit:
+                raise SimulationError(f"time limit {limit} exceeded")
+            self.now = when
+            self._fire(event)
+        return self.now
+
+    # -- internal --------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        event._scheduled = True
+        heapq.heappush(self._heap, (when, self._seq, event))
+
+    def _dispatch(self, event: Event) -> None:
+        """Queue a freshly-triggered event's callbacks at the current time."""
+        if event._scheduled:
+            return  # it is in the heap; callbacks run when popped
+        self._schedule_at(self.now, event)
+
+    def _fire(self, event: Event) -> None:
+        if isinstance(event, Timeout):
+            event.triggered = True
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)

@@ -1,0 +1,285 @@
+"""Simulated memory: the FPGA-side DRAM and on-chip BRAM.
+
+The paper's machine (Convey/Micron HC-2) gives each FPGA chip access to
+on-board DDR2 through dedicated memory controllers.  In-memory OLTP is
+bound by *latency* of small random accesses, not bandwidth (§4.1), so
+the model centres on:
+
+* a fixed random-access latency per request (``latency_cycles``),
+* per-port issue limits (a port can only have ``max_outstanding``
+  requests in flight — this is what caps memory-level parallelism and
+  produces the saturation knees of Figures 10 and 11),
+* per-channel issue slots (8 controllers / channels),
+* an aggregate bandwidth counter checked against the 10 GB/s budget.
+
+Data lives in a :class:`Heap`: a word-addressed object store.  One heap
+cell corresponds to one 64-byte line (a record header, a hash bucket
+entry, a skiplist tower, one payload chunk).  Reads sample the cell and
+writes apply at *service time*, so the pipeline hazards described in
+§4.4 (insert-after-insert, search-after-insert) genuinely occur when
+hazard prevention is disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+from .clock import ClockDomain
+from .engine import Engine, Event
+from .stats import StatsRegistry
+
+__all__ = ["Heap", "DramModel", "MemoryPort", "Bram", "LINE_BYTES"]
+
+LINE_BYTES = 64  # one heap cell models one 64-byte DRAM line
+
+
+class Heap:
+    """Word-addressed object store with a bump allocator.
+
+    Addresses are integers.  ``alloc(n)`` reserves ``n`` consecutive
+    cells.  The heap is shared by all partitions (the FPGA's on-board
+    DRAM is one physical address space); isolation between partitions
+    is a matter of discipline, exactly as in the hardware.
+    """
+
+    def __init__(self, base: int = 0x1000):
+        self._cells: Dict[int, Any] = {}
+        self._next = base
+        self.allocated_cells = 0
+
+    def alloc(self, n_cells: int = 1) -> int:
+        if n_cells < 1:
+            raise ValueError("allocation must be >= 1 cell")
+        addr = self._next
+        self._next += n_cells
+        self.allocated_cells += n_cells
+        return addr
+
+    def load(self, addr: int) -> Any:
+        return self._cells.get(addr)
+
+    def store(self, addr: int, value: Any) -> None:
+        self._cells[addr] = value
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._cells
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self.allocated_cells * LINE_BYTES
+
+
+class _Request:
+    __slots__ = ("kind", "addr", "value", "event", "apply_fn")
+
+    def __init__(self, kind: str, addr: int, value: Any, event: Optional[Event],
+                 apply_fn: Optional[Callable] = None):
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+        self.event = event
+        self.apply_fn = apply_fn
+
+
+class DramModel:
+    """Shared DRAM: channels, latency, bandwidth accounting."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        clock: ClockDomain,
+        heap: Heap,
+        latency_cycles: float = 85.0,
+        channels: int = 8,
+        channel_issue_interval_cycles: float = 1.0,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.engine = engine
+        self.clock = clock
+        self.heap = heap
+        self.latency_ns = clock.ns(latency_cycles)
+        self.channels = channels
+        self.channel_interval_ns = clock.ns(channel_issue_interval_cycles)
+        self._channel_free = [0.0] * channels
+        self.stats = stats or StatsRegistry()
+        self._reads = self.stats.counter("dram.reads")
+        self._writes = self.stats.counter("dram.writes")
+
+    def new_port(self, name: str = "", max_outstanding: int = 4,
+                 issue_interval_cycles: float = 1.0) -> "MemoryPort":
+        return MemoryPort(self, name=name, max_outstanding=max_outstanding,
+                          issue_interval_cycles=issue_interval_cycles)
+
+    # -- timing-free host access (loading, verification, checkpoints) ----
+    def direct_read(self, addr: int) -> Any:
+        return self.heap.load(addr)
+
+    def direct_write(self, addr: int, value: Any) -> None:
+        self.heap.store(addr, value)
+
+    # -- accounting -------------------------------------------------------
+    @property
+    def total_accesses(self) -> int:
+        return self._reads.value + self._writes.value
+
+    def bandwidth_gbps(self, elapsed_ns: float) -> float:
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.total_accesses * LINE_BYTES / elapsed_ns  # bytes/ns == GB/s
+
+    # -- internal: channel arbitration ------------------------------------
+    def _issue_time(self, addr: int, earliest: float) -> float:
+        ch = addr % self.channels
+        t = max(earliest, self._channel_free[ch])
+        self._channel_free[ch] = t + self.channel_interval_ns
+        return t
+
+
+class MemoryPort:
+    """One requester's window into DRAM.
+
+    A port issues at most one request per ``issue_interval`` and holds at
+    most ``max_outstanding`` requests in flight.  Pipeline stages and the
+    softcore each own ports; the per-port outstanding limit is the
+    modelled analogue of the HC-2 memory-port semantics that caps MLP.
+    """
+
+    def __init__(self, dram: DramModel, name: str = "", max_outstanding: int = 4,
+                 issue_interval_cycles: float = 1.0):
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        self.dram = dram
+        self.engine = dram.engine
+        self.name = name
+        self.max_outstanding = max_outstanding
+        self.issue_interval_ns = dram.clock.ns(issue_interval_cycles)
+        self._outstanding = 0
+        self._next_issue = 0.0
+        self._pending: Deque[_Request] = deque()
+        self.issued = 0
+
+    # -- public operations -------------------------------------------------
+    def read(self, addr: int) -> Event:
+        """Read a cell; the event fires with the cell's value at service."""
+        ev = Event(self.engine)
+        self._submit(_Request("read", addr, None, ev))
+        return ev
+
+    def write(self, addr: int, value: Any) -> Event:
+        """Write a cell; the event fires when the write is serviced."""
+        ev = Event(self.engine)
+        self._submit(_Request("write", addr, value, ev))
+        return ev
+
+    def post_write(self, addr: int, value: Any) -> None:
+        """Posted (fire-and-forget) write; still occupies an issue slot."""
+        self._submit(_Request("write", addr, value, None))
+
+    def apply(self, addr: int, fn: Callable[[Any], None]) -> Event:
+        """Read-modify-write: run ``fn(cell_value)`` at service time.
+
+        Models a masked line write (e.g. updating one field of a record
+        header); the mutation happens when DRAM services the request,
+        preserving hazard semantics.
+        """
+        ev = Event(self.engine)
+        self._submit(_Request("rmw", addr, None, ev, apply_fn=fn))
+        return ev
+
+    def post_apply(self, addr: int, fn: Callable[[Any], None]) -> None:
+        self._submit(_Request("rmw", addr, None, None, apply_fn=fn))
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    # -- internal ------------------------------------------------------------
+    def _submit(self, req: _Request) -> None:
+        if self._outstanding >= self.max_outstanding:
+            self._pending.append(req)
+            return
+        self._issue(req)
+
+    def _issue(self, req: _Request) -> None:
+        self._outstanding += 1
+        self.issued += 1
+        now = self.engine.now
+        earliest = max(now, self._next_issue)
+        self._next_issue = earliest + self.issue_interval_ns
+        if earliest > now:
+            # wait for the port's issue slot, then arbitrate the channel
+            # *at that instant* — reserving channel slots early would let
+            # one backlogged port starve other requesters of idle slots.
+            self.engine.call_at(earliest, lambda: self._launch(req))
+        else:
+            self._launch(req)
+
+    def _launch(self, req: _Request) -> None:
+        t_issue = self.dram._issue_time(req.addr, self.engine.now)
+        t_done = t_issue + self.dram.latency_ns
+        if req.kind == "read":
+            self.dram._reads.add()
+        else:
+            self.dram._writes.add()
+        self.engine.call_at(t_done, lambda: self._complete(req))
+
+    def _complete(self, req: _Request) -> None:
+        heap = self.dram.heap
+        if req.kind == "read":
+            value = heap.load(req.addr)
+        elif req.kind == "write":
+            heap.store(req.addr, req.value)
+            value = None
+        else:  # rmw
+            req.apply_fn(heap.load(req.addr))
+            value = None
+        self._outstanding -= 1
+        if self._pending:
+            self._issue(self._pending.popleft())
+        if req.event is not None:
+            req.event.succeed(value)
+
+
+class Bram:
+    """On-chip block RAM: single-cycle, capacity-accounted storage.
+
+    BRAM accesses are folded into stage service times (they complete in
+    the same cycle), so this class only provides storage plus capacity
+    accounting for the Table 4 resource ledger.  A Virtex-5 BRAM block
+    holds 36 Kb; ``blocks_for`` converts a byte requirement to blocks.
+    """
+
+    BLOCK_BITS = 36 * 1024
+
+    def __init__(self, name: str = "", capacity_bytes: int = 4096):
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._data: Dict[Any, Any] = {}
+
+    @classmethod
+    def blocks_for(cls, bytes_needed: int) -> int:
+        bits = bytes_needed * 8
+        return max(1, (bits + cls.BLOCK_BITS - 1) // cls.BLOCK_BITS)
+
+    @property
+    def blocks(self) -> int:
+        return self.blocks_for(self.capacity_bytes)
+
+    def load(self, key: Any, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def store(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def delete(self, key: Any) -> None:
+        self._data.pop(key, None)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

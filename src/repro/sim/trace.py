@@ -1,0 +1,112 @@
+"""Execution tracing: a waveform-style event log for the simulator.
+
+A :class:`Tracer` collects timestamped events from the components that
+opt in (the softcore's instruction stream, index pipeline stages, the
+communication channels).  Tracing is off by default and costs nothing
+when disabled; enabled, it is the primary debugging tool for stored
+procedures and pipeline behaviour:
+
+    tracer = Tracer(categories={"softcore", "hash"})
+    db = BionicDB(BionicConfig(tracer=tracer))
+    ...
+    print(tracer.format(limit=50))
+
+Events carry (time_ns, category, source, message); ``format`` renders
+them as aligned columns, ``filter`` slices by category/source/window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_ns: float
+    category: str
+    source: str
+    message: str
+
+
+class Tracer:
+    """Collects trace events for a chosen set of categories.
+
+    Known categories: ``softcore`` (instruction execution, batch
+    phases), ``hash`` / ``skiplist`` (pipeline stage activity), ``comm``
+    (message passing), ``txn`` (commit/abort decisions).
+    """
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 capacity: int = 100_000):
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None)
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._clock = None  # bound by the system at construction
+
+    def bind_clock(self, clock) -> None:
+        self._clock = clock
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def emit(self, category: str, source: str, message: str) -> None:
+        if not self.wants(category):
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        now = self._clock.engine.now if self._clock is not None else 0.0
+        self.events.append(TraceEvent(now, category, source, message))
+
+    # -- inspection --------------------------------------------------------
+    def filter(self, category: Optional[str] = None,
+               source: Optional[str] = None,
+               since_ns: float = 0.0,
+               until_ns: float = float("inf")) -> List[TraceEvent]:
+        return [e for e in self.events
+                if (category is None or e.category == category)
+                and (source is None or e.source == source)
+                and since_ns <= e.time_ns <= until_ns]
+
+    def format(self, events: Optional[Sequence[TraceEvent]] = None,
+               limit: Optional[int] = None) -> str:
+        events = list(self.events if events is None else events)
+        if limit is not None:
+            events = events[:limit]
+        lines = [f"{e.time_ns:12.1f} ns  {e.category:<9s} {e.source:<16s} "
+                 f"{e.message}" for e in events]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+
+class _NullTracer:
+    """The default: tracing disabled, every call a cheap no-op."""
+
+    enabled = False
+    events: List[TraceEvent] = []
+
+    def bind_clock(self, _clock) -> None:
+        pass
+
+    def wants(self, _category: str) -> bool:
+        return False
+
+    def emit(self, _category: str, _source: str, _message: str) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()

@@ -1,0 +1,70 @@
+"""The catalogue (§4.2/§4.3): stored procedures + metadata on BRAM.
+
+A client registers a pre-compiled stored procedure along with the
+metadata needed to run it (register footprint, table schemas to work
+with).  Registering or replacing a procedure needs no FPGA
+reconfiguration — BionicDB accommodates workload changes quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa.instructions import Opcode, Program, Section
+from ..mem.schema import Catalog
+from ..sim.memory import Bram
+
+__all__ = ["ProcedureEntry", "Catalogue"]
+
+
+@dataclass(frozen=True)
+class ProcedureEntry:
+    proc_id: int
+    program: Program
+    gp_needed: int
+    cp_needed: int
+    #: CP registers collected with RETN: a NOT_FOUND result there is
+    #: tolerated rather than trapping to the abort handler
+    tolerant_cps: frozenset = frozenset()
+
+
+class Catalogue:
+    """Per-worker procedure + schema store (replicated to every worker)."""
+
+    def __init__(self, schemas: Catalog, lookup_cycles: float = 2.0):
+        self.schemas = schemas
+        self.lookup_cycles = lookup_cycles
+        self._procs: Dict[int, ProcedureEntry] = {}
+        self.bram = Bram("catalogue", capacity_bytes=16 * 1024)
+
+    def register(self, proc_id: int, program: Program) -> ProcedureEntry:
+        if not program.finalized:
+            program.finalize()
+        tolerant = frozenset(
+            inst.cp.n
+            for section in Section
+            for inst in program.section(section)
+            if inst.opcode is Opcode.RETN)
+        entry = ProcedureEntry(
+            proc_id=proc_id,
+            program=program,
+            gp_needed=max(1, program.gp_needed),
+            cp_needed=max(1, program.cp_needed),
+            tolerant_cps=tolerant,
+        )
+        # replacement is allowed: clients may change an existing txn type
+        self._procs[proc_id] = entry
+        return entry
+
+    def lookup(self, proc_id: int) -> ProcedureEntry:
+        try:
+            return self._procs[proc_id]
+        except KeyError:
+            raise KeyError(f"no stored procedure registered for id {proc_id}") from None
+
+    def __contains__(self, proc_id: int) -> bool:
+        return proc_id in self._procs
+
+    def __len__(self) -> int:
+        return len(self._procs)

@@ -1,0 +1,625 @@
+"""The softcore: stored-procedure execution with transaction interleaving.
+
+This is the custom microprocessor of §4.3 (no instruction pipelining,
+no out-of-order execution, no general-purpose cache — the paper cites
+evidence that none of these pay off for OLTP).  CPU instructions run in
+five one-cycle steps; DB instructions take Prepare + Dispatch and are
+forwarded *asynchronously* to the local index coprocessor or, via the
+on-chip channels, to a remote one.
+
+Transaction interleaving (§4.5, Figure 8) batches transactions by
+renaming each into an exclusive GP/CP register range.  Phase one runs
+each transaction's logic to the end without waiting for outstanding DB
+instructions, saving the context (10-cycle switch) and moving on.
+Phase two revisits the batch in serial order: each commit handler waits
+for its outstanding DB instructions, then commits — or, on any DB
+error or voluntary abort, the abort handler rolls back from the UNDO
+log.
+
+At transaction admission, the block's input region is streamed into the
+softcore's *working-set buffer* (the BRAM buffer visible in Figure 2);
+this is what lets the Dispatch step route DB instructions by key
+without a DRAM round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..isa.instructions import (
+    BlockRef, Cp, FieldRef, Gp, Imm, Instruction, Opcode, Program, Section,
+)
+from ..mem.txnblock import TransactionBlock, TxnStatus, UndoEntry
+from ..sim.clock import ClockDomain
+from ..sim.engine import Engine
+from ..sim.memory import DramModel
+from ..sim.stats import StatsRegistry
+from ..sim.sync import Fifo
+from ..txn.cc import DbResult, ResultCode, abort_write, commit_record
+from ..txn.timestamps import HardwareClock
+from ..index.common import DbRequest
+from .catalogue import Catalogue
+from .context import TxnContext, WriteSetEntry
+from .registers import CpRegisterFile, RegisterFile
+
+__all__ = ["SoftcoreConfig", "Softcore", "ExecutionError"]
+
+_WRITE_OPS = (Opcode.INSERT, Opcode.UPDATE, Opcode.REMOVE)
+
+
+class ExecutionError(RuntimeError):
+    """Raised for malformed runtime situations (bad operand, etc.)."""
+
+
+@dataclass
+class SoftcoreConfig:
+    cpu_inst_cycles: float = 5.0
+    db_prepare_cycles: float = 1.0
+    db_dispatch_cycles: float = 1.0
+    ret_cycles: float = 5.0
+    context_switch_cycles: float = 10.0
+    commit_cycles_per_entry: float = 2.0
+    wrfield_cycles: float = 6.0
+    catalogue_cycles: float = 2.0
+    interleaving: bool = True
+    #: §4.5 'future work': switch transactions whenever a RET blocks,
+    #: instead of only at end-of-logic (helps data-dependent workloads)
+    dynamic_scheduling: bool = False
+    max_batch: Optional[int] = None
+    n_registers: int = 256
+    #: single-entry tuple line buffer: one 64-byte header line holds all
+    #: the fields a procedure touches, so consecutive LOAD/WRFIELD to
+    #: the same record cost one DRAM read (ablation knob)
+    line_buffer: bool = True
+
+
+class Softcore:
+    """One partition worker's stored-procedure engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        clock: ClockDomain,
+        dram: DramModel,
+        worker_id: int,
+        catalogue: Catalogue,
+        hw_clock: HardwareClock,
+        config: Optional[SoftcoreConfig] = None,
+        stats: Optional[StatsRegistry] = None,
+        on_txn_done: Optional[Callable[[TransactionBlock], None]] = None,
+        tracer=None,
+    ):
+        from ..sim.trace import NULL_TRACER
+        self.engine = engine
+        self.clock = clock
+        self.dram = dram
+        self.worker_id = worker_id
+        self.catalogue = catalogue
+        self.hw_clock = hw_clock
+        self.config = config or SoftcoreConfig()
+        self.stats = stats or StatsRegistry()
+        self.on_txn_done = on_txn_done
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+        self.input_queue: Fifo = Fifo(engine, name=f"w{worker_id}.input")
+        self.gp = RegisterFile(self.config.n_registers)
+        self.cp = CpRegisterFile(engine, self.config.n_registers)
+        self.port = dram.new_port(f"w{worker_id}.core", max_outstanding=8,
+                                  issue_interval_cycles=1.0)
+
+        # Set by the partition worker that owns this softcore:
+        #   route(table_id, key) -> destination partition (None = local)
+        #   dispatch(req, dst_partition)
+        self.route: Callable[[int, Any], Optional[int]] = lambda _t, _k: None
+        self.dispatch: Callable[[DbRequest, Optional[int]], None] = \
+            self._reject_dispatch
+
+        self._cp_owner: Dict[int, TxnContext] = {}
+        self._pending_info: Dict[int, Tuple[Opcode, int]] = {}
+        self._pending_block: Optional[TransactionBlock] = None
+
+        pre = f"worker{worker_id}"
+        self._committed = self.stats.counter(f"{pre}.committed")
+        self._aborted = self.stats.counter(f"{pre}.aborted")
+        self._batches = self.stats.counter(f"{pre}.batches")
+        self._insts = self.stats.counter(f"{pre}.instructions")
+        self._db_insts = self.stats.counter(f"{pre}.db_instructions")
+        self._remote_insts = self.stats.counter(f"{pre}.remote_db_instructions")
+
+        self._proc = engine.process(self._run(), name=f"w{worker_id}.softcore")
+
+    @staticmethod
+    def _reject_dispatch(_req, _dst):  # pragma: no cover - must be wired
+        raise ExecutionError("softcore has no dispatcher wired")
+
+    # -- client interface --------------------------------------------------
+    def submit(self, block: TransactionBlock) -> None:
+        block.header.status = TxnStatus.PENDING
+        self.input_queue.put(block)
+
+    # -- result delivery (local coprocessor or remote response path) --------
+    def deliver(self, cp_global: int, result: DbResult) -> None:
+        ctx = self._cp_owner.get(cp_global)
+        if ctx is None:
+            raise ExecutionError(f"result for unowned CP register {cp_global}")
+        op, table_id = self._pending_info.pop(cp_global)
+        self.cp.write_back(cp_global, result)
+        if result.ok and op in _WRITE_OPS:
+            ctx.write_set.append(WriteSetEntry(op, table_id, result.tuple_addr))
+        tolerated = (result.code is ResultCode.NOT_FOUND and
+                     (cp_global - ctx.cp_base) in ctx.entry.tolerant_cps)
+        if not result.ok and not tolerated:
+            ctx.failed = True
+            if ctx.fail_reason is None:
+                ctx.fail_reason = f"{op.value}: {result.code.name}"
+        ctx.note_result()
+
+    # -- main loop -----------------------------------------------------------
+    def _run(self):
+        cfg = self.config
+        while True:
+            if self._pending_block is not None:
+                block, self._pending_block = self._pending_block, None
+            else:
+                block = yield self.input_queue.get()
+            if cfg.interleaving and cfg.dynamic_scheduling:
+                batch = yield from self._phase1_dynamic(block)
+            else:
+                batch = yield from self._phase1_static(block)
+            # ---- phase 2: commit/abort handlers in serial order -------------
+            for ctx in batch:
+                yield self.clock.delay(cfg.context_switch_cycles)
+                yield ctx.wait_drained(self.engine)
+                if not ctx.failed:
+                    yield from self._exec_section(ctx, Section.COMMIT)
+                if ctx.failed:
+                    yield from self._exec_section(ctx, Section.ABORT)
+                self._release(ctx)
+            self._batches.add()
+
+    def _admit(self, block: TransactionBlock, batch: List[TxnContext],
+               bases: List[int]) -> Optional[TxnContext]:
+        """Try to add ``block`` to the current batch (§4.5 transaction
+        grouping): allocate an exclusive register range or fail, closing
+        the batch (the block is kept for the next one)."""
+        cfg = self.config
+        entry = self.catalogue.lookup(block.proc_id)
+        gp_base, cp_base = bases
+        over_cap = (gp_base + entry.gp_needed > cfg.n_registers or
+                    cp_base + entry.cp_needed > cfg.n_registers)
+        over_batch = (cfg.max_batch is not None and len(batch) >= cfg.max_batch)
+        if batch and (over_cap or over_batch):
+            self._pending_block = block
+            return None
+        ctx = TxnContext(block=block, entry=entry,
+                         begin_ts=self.hw_clock.next_ts(),
+                         gp_base=gp_base, cp_base=cp_base)
+        bases[0] += entry.gp_needed
+        bases[1] += entry.cp_needed
+        self.gp.clear_range(ctx.gp_base, entry.gp_needed)
+        self.cp.clear_range(ctx.cp_base, entry.cp_needed)
+        block.header.begin_ts = ctx.begin_ts
+        block.header.status = TxnStatus.RUNNING
+        batch.append(ctx)
+        return ctx
+
+    def _phase1_static(self, block: TransactionBlock):
+        """Phase one as the paper implements it: run each transaction's
+        logic to the end, switch, and never revisit until phase two."""
+        cfg = self.config
+        batch: List[TxnContext] = []
+        bases = [0, 0]
+        while True:
+            yield self.clock.delay(cfg.catalogue_cycles)
+            ctx = self._admit(block, batch, bases)
+            if ctx is None:
+                break
+            yield from self._ingest(ctx)
+            yield from self._exec_section(ctx, Section.LOGIC)
+            ctx.finished_logic = True
+            yield self.clock.delay(cfg.context_switch_cycles)
+            if not cfg.interleaving:
+                break
+            ok, nxt = self.input_queue.try_get()
+            if not ok:
+                break
+            block = nxt
+        return batch
+
+    def _phase1_dynamic(self, block: TransactionBlock):
+        """Dynamic scheduling (the §4.5 'future work' variant): when a
+        RET blocks on an outstanding DB instruction during transaction
+        logic, the softcore switches to another runnable transaction
+        instead of stalling, resuming the blocked one when its CP
+        register is written back."""
+        from collections import deque
+        cfg = self.config
+        batch: List[TxnContext] = []
+        bases = [0, 0]
+        ready = deque()
+        wake: Fifo = Fifo(self.engine)
+        blocked = 0
+
+        yield self.clock.delay(cfg.catalogue_cycles)
+        first = self._admit(block, batch, bases)
+        yield from self._ingest(first)
+        ready.append((first, False))
+
+        while ready or blocked:
+            if not ready:
+                # nothing runnable: admit new work if possible, else
+                # sleep until a blocked transaction is woken
+                if self._pending_block is None:
+                    ok, nxt = self.input_queue.try_get()
+                    if ok:
+                        yield self.clock.delay(cfg.catalogue_cycles)
+                        ctx = self._admit(nxt, batch, bases)
+                        if ctx is not None:
+                            yield from self._ingest(ctx)
+                            ready.append((ctx, False))
+                            continue
+                woken = yield wake.get()
+                blocked -= 1
+                ready.append((woken, True))
+                continue
+            ctx, resume = ready.popleft()
+            yield self.clock.delay(cfg.context_switch_cycles)
+            yield from self._exec_section(ctx, Section.LOGIC, resume=resume)
+            if ctx.blocked_on is not None:
+                cp_idx, ctx.blocked_on = ctx.blocked_on, None
+                blocked += 1
+                ev = self.cp.wait_valid(cp_idx)
+                ev.callbacks.append(lambda _e, c=ctx: wake.put(c))
+            else:
+                ctx.finished_logic = True
+                if self._pending_block is None:
+                    ok, nxt = self.input_queue.try_get()
+                    if ok:
+                        yield self.clock.delay(cfg.catalogue_cycles)
+                        ctx2 = self._admit(nxt, batch, bases)
+                        if ctx2 is not None:
+                            yield from self._ingest(ctx2)
+                            ready.append((ctx2, False))
+        return batch
+
+    def _ingest(self, ctx: TxnContext):
+        """Stream the input region into the working-set buffer (BRAM)."""
+        layout = ctx.block.layout
+        base = ctx.block.data_base
+        first = yield self.port.read(base)
+        if layout.n_inputs > 1:
+            yield self.clock.delay(layout.n_inputs - 1)  # pipelined burst
+        ws = [first]
+        for i in range(1, layout.n_inputs):
+            ws.append(self.dram.direct_read(base + i))
+        ctx.working_set = ws
+
+    def _release(self, ctx: TxnContext) -> None:
+        for i in range(ctx.cp_base, ctx.cp_base + ctx.entry.cp_needed):
+            self._cp_owner.pop(i, None)
+            self._pending_info.pop(i, None)
+        if self.on_txn_done is not None:
+            self.on_txn_done(ctx.block)
+
+    # -- interpreter --------------------------------------------------------
+    def _exec_section(self, ctx: TxnContext, section: Section,
+                      resume: bool = False):
+        ctx.section = section
+        if not resume:
+            ctx.pc = 0
+        insts = ctx.entry.program.section(section)
+        while ctx.pc < len(insts):
+            inst = insts[ctx.pc]
+            ctx.pc += 1
+            self._insts.add()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "softcore", f"w{self.worker_id}",
+                    f"txn={ctx.txn_id} {section.value}[{ctx.pc - 1}] {inst!r}")
+            if inst.is_db:
+                yield from self._exec_db(ctx, inst)
+            else:
+                trap = yield from self._exec_cpu(ctx, inst)
+                if trap:
+                    return
+            if ctx.failed and section is Section.LOGIC:
+                return  # exception: the abort handler runs in phase two
+
+    # .. DB instructions ..................................................
+    def _exec_db(self, ctx: TxnContext, inst: Instruction):
+        cfg = self.config
+        # Prepare: collect metadata (index type, timestamp, destination)
+        yield self.clock.delay(cfg.db_prepare_cycles)
+        schema = self.catalogue.schemas.table(inst.table)
+        key_addr, key_value, route_key, payload = self._resolve_key(ctx, inst)
+        dst = self.route(inst.table, route_key)
+        # Dispatch: asynchronous hand-off to the coprocessor / channels
+        yield self.clock.delay(cfg.db_dispatch_cycles)
+        cp_global = ctx.cp_base + inst.cp.n
+        self.cp.mark_pending(cp_global, inst.opcode)
+        self._cp_owner[cp_global] = ctx
+        self._pending_info[cp_global] = (inst.opcode, inst.table)
+        req = DbRequest(op=inst.opcode, table_id=inst.table, ts=ctx.begin_ts,
+                        txn_id=ctx.txn_id, key_addr=key_addr,
+                        key_value=key_value, insert_payload=payload,
+                        src_worker=self.worker_id, cp_index=cp_global,
+                        route_key=route_key)
+        if inst.opcode is Opcode.INSERT and isinstance(inst.b, BlockRef):
+            req.payload_addr = self._block_addr(ctx, inst.b)
+        if inst.opcode is Opcode.SCAN:
+            req.scan_count = int(self._value(ctx, inst.a))
+            req.scan_out_addr = self._block_addr(ctx, inst.addr)
+            req.scan_limit = ctx.block.layout.n_scan
+        ctx.note_dispatch()
+        self._db_insts.add()
+        if dst is not None and dst != self.worker_id:
+            self._remote_insts.add()
+        self.dispatch(req, dst)
+
+    def _resolve_key(self, ctx: TxnContext, inst: Instruction):
+        """Returns (key_addr, key_value, routing_key, insert_payload)."""
+        key = inst.key
+        payload = None
+        if isinstance(key, Gp):
+            value = self.gp.read(ctx.gp_base + key.n)
+            if inst.opcode is Opcode.INSERT and isinstance(value, tuple) \
+                    and len(value) == 2:
+                value, payload = value
+                return None, value, value, payload
+            return None, value, value, None
+        # BlockRef: the coprocessor's KeyFetch stage will read the cell
+        # from DRAM; the softcore routes using its working-set copy.
+        addr = self._block_addr(ctx, key)
+        offset = addr - ctx.block.data_base
+        if 0 <= offset < len(ctx.working_set):
+            cell = ctx.working_set[offset]
+        else:
+            cell = self.dram.direct_read(addr)
+        route_key = cell
+        if inst.opcode is Opcode.INSERT and isinstance(cell, tuple) \
+                and len(cell) == 2:
+            route_key = cell[0]
+        return addr, None, route_key, None
+
+    # .. CPU instructions ...................................................
+    def _exec_cpu(self, ctx: TxnContext, inst: Instruction):
+        """Executes one CPU instruction; returns True on a section trap."""
+        cfg = self.config
+        op = inst.opcode
+        if op in (Opcode.RET, Opcode.RETN):
+            yield self.clock.delay(cfg.ret_cycles)
+            cp_global = ctx.cp_base + inst.cp.n
+            if (cfg.dynamic_scheduling and cfg.interleaving
+                    and ctx.section is Section.LOGIC
+                    and not self.cp.is_valid(cp_global)):
+                # dynamic scheduling: yield the softcore to another
+                # transaction instead of stalling; the RET re-executes
+                # on resume.
+                ctx.pc -= 1
+                ctx.blocked_on = cp_global
+                return True
+            db_op, result = yield self.cp.wait_valid(cp_global)
+            if (op is Opcode.RETN
+                    and result.code is ResultCode.NOT_FOUND):
+                # null-tolerant collect: absence is data, not an error
+                self.gp.write(ctx.gp_base + inst.dst.n, 0)
+                return False
+            if result.code is not ResultCode.OK:
+                ctx.failed = True
+                if ctx.fail_reason is None:
+                    ctx.fail_reason = f"{db_op.value}: {result.code.name}"
+                return ctx.section is not Section.LOGIC
+            value = result.value if db_op is Opcode.SCAN else result.tuple_addr
+            self.gp.write(ctx.gp_base + inst.dst.n, value)
+            return False
+
+        if op is Opcode.COMMIT:
+            if ctx.section is Section.LOGIC:
+                raise ExecutionError("COMMIT outside a commit handler")
+            if ctx.failed:
+                return True  # fall through to the abort handler
+            yield from self._commit_protocol(ctx)
+            return False
+
+        if op is Opcode.ABORT:
+            if ctx.section is Section.LOGIC:
+                ctx.failed = True
+                if ctx.fail_reason is None:
+                    ctx.fail_reason = "voluntary abort"
+                return False  # LOGIC exits via the failed flag
+            yield from self._abort_protocol(ctx)
+            return False
+
+        yield self.clock.delay(cfg.cpu_inst_cycles)
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
+            a = self._value(ctx, inst.a)
+            b = self._value(ctx, inst.b)
+            if op is Opcode.ADD:
+                out = a + b
+            elif op is Opcode.SUB:
+                out = a - b
+            elif op is Opcode.MUL:
+                out = a * b
+            else:
+                out = a // b if isinstance(a, int) and isinstance(b, int) else a / b
+            self.gp.write(ctx.gp_base + inst.dst.n, out)
+        elif op is Opcode.MOV:
+            self.gp.write(ctx.gp_base + inst.dst.n, self._value(ctx, inst.a))
+        elif op is Opcode.CMP:
+            a = self._value(ctx, inst.a)
+            b = self._value(ctx, inst.b)
+            ctx.zero = a == b
+            ctx.neg = a < b
+        elif op is Opcode.LOAD:
+            value = yield from self._load(ctx, inst.addr)
+            self.gp.write(ctx.gp_base + inst.dst.n, value)
+        elif op is Opcode.STORE:
+            yield from self._store(ctx, inst.addr, self._value(ctx, inst.a))
+        elif op is Opcode.WRFIELD:
+            yield from self._wrfield(ctx, inst)
+        elif op is Opcode.JMP:
+            ctx.pc = inst.target
+        elif op is Opcode.BE:
+            if ctx.zero:
+                ctx.pc = inst.target
+        elif op is Opcode.BNE:
+            if not ctx.zero:
+                ctx.pc = inst.target
+        elif op is Opcode.BLT:
+            if ctx.neg:
+                ctx.pc = inst.target
+        elif op is Opcode.BLE:
+            if ctx.neg or ctx.zero:
+                ctx.pc = inst.target
+        elif op is Opcode.BGT:
+            if not (ctx.neg or ctx.zero):
+                ctx.pc = inst.target
+        elif op is Opcode.BGE:
+            if not ctx.neg:
+                ctx.pc = inst.target
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover
+            raise ExecutionError(f"unhandled opcode {op}")
+        return False
+
+    # .. memory helpers ....................................................
+    def _read_record(self, ctx: TxnContext, addr: int):
+        """Fetch a tuple header line, via the context's single-entry
+        line buffer: the 64-byte line holds every header field, so
+        consecutive field accesses to the same record cost one read."""
+        if (self.config.line_buffer and ctx.line_buf is not None
+                and ctx.line_buf_addr == addr):
+            return ctx.line_buf
+        record = yield self.port.read(addr)
+        ctx.line_buf_addr = addr
+        ctx.line_buf = record
+        return record
+
+    def _load(self, ctx: TxnContext, ref):
+        if isinstance(ref, FieldRef):
+            addr = self.gp.read(ctx.gp_base + ref.base.n)
+            record = yield from self._read_record(ctx, addr)
+            if record is None:
+                raise ExecutionError(f"LOAD from empty cell {addr}")
+            return record.fields[ref.field]
+        addr = self._block_addr(ctx, ref)
+        offset = addr - ctx.block.data_base
+        if 0 <= offset < len(ctx.working_set):
+            return ctx.working_set[offset]  # working-set buffer hit (BRAM)
+        value = yield self.port.read(addr)
+        return value
+
+    def _store(self, ctx: TxnContext, ref, value):
+        if isinstance(ref, FieldRef):
+            addr = self.gp.read(ctx.gp_base + ref.base.n)
+            field = ref.field
+
+            def apply(record):
+                record.fields[field] = value
+            self.port.post_apply(addr, apply)
+        else:
+            addr = self._block_addr(ctx, ref)
+            offset = addr - ctx.block.data_base
+            if 0 <= offset < len(ctx.working_set):
+                ctx.working_set[offset] = value
+            self.port.post_write(addr, value)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def _wrfield(self, ctx: TxnContext, inst: Instruction):
+        """Backup-and-write: UNDO-log the old field value, then update
+        the tuple in place (§4.7 UPDATE semantics)."""
+        cfg = self.config
+        yield self.clock.delay(cfg.wrfield_cycles)
+        ref: FieldRef = inst.addr
+        addr = self.gp.read(ctx.gp_base + ref.base.n)
+        value = self._value(ctx, inst.a)
+        record = yield from self._read_record(ctx, addr)
+        if record is None:
+            raise ExecutionError(f"WRFIELD on empty cell {addr}")
+        entry = UndoEntry(tuple_addr=addr, field=ref.field,
+                          old_value=record.fields[ref.field])
+        ctx.undo.append(entry)
+        slot = ctx.block.undo_slot(len(ctx.undo) - 1)
+        ctx.block.header.undo_count = len(ctx.undo)
+        self.port.post_write(slot, entry)
+        # apply in place: the tuple is dirty-locked by this transaction's
+        # UPDATE, so no other reader can legally observe the window; the
+        # posted write accounts for the masked-line store.
+        record.fields[ref.field] = value
+        self.port.post_write(addr, record)
+
+    def _block_addr(self, ctx: TxnContext, ref: BlockRef) -> int:
+        offset = ref.offset
+        if isinstance(offset, Gp):
+            offset = self.gp.read(ctx.gp_base + offset.n)
+        return ctx.block.data_base + int(offset) + ref.extra
+
+    def _value(self, ctx: TxnContext, operand) -> Any:
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Gp):
+            return self.gp.read(ctx.gp_base + operand.n)
+        raise ExecutionError(f"bad value operand {operand!r}")
+
+    # .. commit / abort protocols (§4.7) .....................................
+    def _commit_protocol(self, ctx: TxnContext):
+        cfg = self.config
+        last_ev = None
+        for entry in ctx.write_set:
+            yield self.clock.delay(cfg.commit_cycles_per_entry)
+            last_ev = self.port.apply(entry.tuple_addr,
+                                      self._commit_fixup(ctx.begin_ts))
+        if last_ev is not None:
+            yield last_ev
+        ctx.block.header.status = TxnStatus.COMMITTED
+        ctx.block.header.commit_ts = ctx.begin_ts
+        self.port.post_write(ctx.block.base, ctx.block.header)
+        self._committed.add()
+        if self.tracer.enabled:
+            self.tracer.emit("txn", f"w{self.worker_id}",
+                             f"txn={ctx.txn_id} COMMIT ts={ctx.begin_ts} "
+                             f"writes={len(ctx.write_set)}")
+
+    @staticmethod
+    def _commit_fixup(commit_ts: int):
+        def apply(record):
+            commit_record(record, commit_ts)
+        return apply
+
+    def _abort_protocol(self, ctx: TxnContext):
+        cfg = self.config
+        last_ev = None
+        # restore overwritten fields from the UNDO log, newest first
+        for entry in reversed(ctx.undo):
+            yield self.clock.delay(cfg.commit_cycles_per_entry)
+            last_ev = self.port.apply(entry.tuple_addr,
+                                      self._restore_fixup(entry))
+        # clear dirty marks; aborted inserts become tombstones
+        for wse in ctx.write_set:
+            yield self.clock.delay(cfg.commit_cycles_per_entry)
+            last_ev = self.port.apply(
+                wse.tuple_addr, self._abort_fixup(wse.op is Opcode.INSERT))
+        if last_ev is not None:
+            yield last_ev
+        ctx.block.header.status = TxnStatus.ABORTED
+        ctx.block.header.abort_reason = ctx.fail_reason
+        self.port.post_write(ctx.block.base, ctx.block.header)
+        self._aborted.add()
+        if self.tracer.enabled:
+            self.tracer.emit("txn", f"w{self.worker_id}",
+                             f"txn={ctx.txn_id} ABORT ({ctx.fail_reason})")
+
+    @staticmethod
+    def _restore_fixup(entry: UndoEntry):
+        def apply(record):
+            record.fields[entry.field] = entry.old_value
+        return apply
+
+    @staticmethod
+    def _abort_fixup(was_insert: bool):
+        def apply(record):
+            abort_write(record, was_insert=was_insert)
+        return apply

@@ -1,0 +1,12 @@
+"""Timestamp CC, visibility checks and transaction bookkeeping."""
+
+from .cc import (
+    CcError, DbResult, ResultCode, abort_write, check_read, check_write,
+    commit_record,
+)
+from .timestamps import HardwareClock
+
+__all__ = [
+    "CcError", "DbResult", "ResultCode", "abort_write", "check_read",
+    "check_write", "commit_record", "HardwareClock",
+]

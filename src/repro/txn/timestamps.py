@@ -1,0 +1,35 @@
+"""Hardware timestamp clock.
+
+BionicDB assigns every transaction a hardware timestamp at the start of
+its lifecycle (§4.7) and re-initialises the clock past the latest
+commit timestamp after recovery (§4.8).  The clock is a monotonically
+increasing counter shared by all partition workers on the chip.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HardwareClock"]
+
+
+class HardwareClock:
+    """Monotonic transaction-timestamp source."""
+
+    def __init__(self, start: int = 1):
+        if start < 1:
+            raise ValueError("clock must start >= 1")
+        self._next = start
+
+    def next_ts(self) -> int:
+        ts = self._next
+        self._next += 1
+        return ts
+
+    @property
+    def current(self) -> int:
+        """The last timestamp handed out (0 if none yet)."""
+        return self._next - 1
+
+    def reinitialize(self, min_ts: int) -> None:
+        """Fast-forward past ``min_ts`` (used after recovery replay)."""
+        if min_ts + 1 > self._next:
+            self._next = min_ts + 1

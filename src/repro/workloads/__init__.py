@@ -1,0 +1,10 @@
+"""Workloads: YCSB, TPC-C and key distributions."""
+
+from .tpcc import TpccConfig, TpccWorkload
+from .ycsb import TxnSpec, YcsbConfig, YcsbWorkload
+from .zipf import ScrambledZipfianGenerator, UniformGenerator, ZipfianGenerator
+
+__all__ = [
+    "TpccConfig", "TpccWorkload", "TxnSpec", "YcsbConfig", "YcsbWorkload",
+    "ScrambledZipfianGenerator", "UniformGenerator", "ZipfianGenerator",
+]

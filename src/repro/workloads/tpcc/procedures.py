@@ -1,0 +1,379 @@
+"""TPC-C stored procedures in the BionicDB ISA.
+
+Payment and NewOrder were the two transactions the paper ran (50:50
+mix).  Payment was modified — as in the paper — to pick the customer by
+customer id (no last-name secondary index probe).  NewOrder procedures
+are fully unrolled per order-line count (proc id ``PROC_NEWORDER_BASE +
+ol_cnt``), which is what gives NewOrder its intra-transaction index
+parallelism; its order-id data dependency (district.next_o_id feeds the
+ORDER/ORDER-LINE insert keys) is expressed with a blocking RET in the
+transaction logic, which is exactly why TPC-C interleaves poorly
+(§5.6).
+
+NewOrder transaction-block input layout (K = ol_cnt)::
+
+    @0 warehouse key        @1 district key     @2 customer key
+    @3 orders base key      @4 ol_cnt
+    @5+3i item key          @6+3i stock key     @7+3i quantity
+    @5+3K ORDERS payload    @6+3K NEW_ORDER payload ([])
+    @7+3K+i ORDER_LINE payload for line i
+
+Payment input layout::
+
+    @0 warehouse key  @1 district key  @2 customer key
+    @3 amount         @4 (history key, [amount, data])
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProcedureBuilder
+from ...isa.instructions import Gp, Program
+from ...mem.txnblock import BlockLayout
+from . import schema as S
+
+__all__ = [
+    "PROC_PAYMENT", "PROC_NEWORDER_BASE", "PROC_STOCKLEVEL",
+    "PROC_ORDERSTATUS", "PROC_DELIVERY",
+    "payment_procedure", "neworder_procedure", "stocklevel_procedure",
+    "orderstatus_procedure", "delivery_procedure",
+    "payment_layout", "neworder_layout", "stocklevel_layout",
+    "orderstatus_layout", "delivery_layout",
+    "MIN_OL_CNT", "MAX_OL_CNT",
+]
+
+PROC_PAYMENT = 10
+PROC_NEWORDER_BASE = 20  # + ol_cnt
+PROC_STOCKLEVEL = 40
+MIN_OL_CNT = 5
+MAX_OL_CNT = 15
+
+
+def payment_layout() -> BlockLayout:
+    return BlockLayout(n_inputs=5, n_outputs=2, n_scratch=2, n_undo=8, n_scan=1)
+
+
+def payment_procedure() -> Program:
+    """Pay ``amount``: warehouse.ytd += a, district.ytd += a,
+    customer.balance -= a & payment_cnt += 1, insert HISTORY row."""
+    b = ProcedureBuilder("tpcc_payment")
+    b.update(cp=0, table=S.WAREHOUSE, key=b.at(0))
+    b.update(cp=1, table=S.DISTRICT, key=b.at(1))
+    b.update(cp=2, table=S.CUSTOMER, key=b.at(2))
+    b.insert(cp=3, table=S.HISTORY, key=b.at(4))
+
+    b.commit_handler()
+    b.load(2, b.at(3))                  # amount (working-set hit)
+    # warehouse.ytd += amount
+    b.ret(0, 0)
+    b.load(1, b.fld(0, S.W_FIELD_YTD))
+    b.add(1, Gp(1), Gp(2))
+    b.wrfield(0, S.W_FIELD_YTD, Gp(1))
+    # district.ytd += amount
+    b.ret(0, 1)
+    b.load(1, b.fld(0, S.D_FIELD_YTD))
+    b.add(1, Gp(1), Gp(2))
+    b.wrfield(0, S.D_FIELD_YTD, Gp(1))
+    # customer.balance -= amount; payment_cnt += 1
+    b.ret(0, 2)
+    b.load(1, b.fld(0, S.C_FIELD_BALANCE))
+    b.sub(1, Gp(1), Gp(2))
+    b.wrfield(0, S.C_FIELD_BALANCE, Gp(1))
+    b.load(3, b.fld(0, S.C_FIELD_PAYMENT_CNT))
+    b.add(3, Gp(3), 1)
+    b.wrfield(0, S.C_FIELD_PAYMENT_CNT, Gp(3))
+    # history insert acknowledged
+    b.ret(4, 3)
+    b.store(Gp(1), b.at(payment_layout().out))  # new balance -> output
+    b.commit()
+    return b.build()
+
+
+def stocklevel_layout() -> BlockLayout:
+    return BlockLayout(n_inputs=6, n_outputs=2, n_scratch=2, n_undo=2,
+                       n_scan=1)
+
+
+def stocklevel_procedure(max_lines: int = 10) -> Program:
+    """TPC-C StockLevel (read-only, extension beyond the paper's mix).
+
+    Counts stock entries below a threshold over the order lines of the
+    district's most recent orders.  Unlike Payment/NewOrder this uses
+    *dynamic* ISA loops with computed keys and RETN (null-tolerant
+    collection) for order-line slots that may not exist.
+
+    Input layout: @0 warehouse key, @1 district key, @2 threshold,
+    @3 orders base key, @4 lookback (how many recent orders),
+    @5 stock key base (w * 10^6).  Output: the low-stock count.
+    Simplification vs the spec: items are not de-duplicated.
+    """
+    layout = stocklevel_layout()
+    b = ProcedureBuilder("tpcc_stocklevel")
+    b.search(cp=0, table=S.DISTRICT, key=b.at(1))
+    b.ret(0, 0)
+    b.load(1, b.fld(0, S.D_FIELD_NEXT_O_ID))   # next_o_id
+    b.load(2, b.at(4))                          # lookback
+    b.sub(3, Gp(1), Gp(2))                      # o = next_o_id - lookback
+    b.mov(10, 0)                                # low-stock count
+    b.label("order_loop")
+    b.cmp(Gp(3), Gp(1))
+    b.bge("done")
+    b.load(4, b.at(3))                          # orders base key
+    b.add(4, Gp(4), Gp(3))                      # order key
+    b.mul(5, Gp(4), 100)                        # order-line key base
+    b.mov(6, 1)                                 # line number
+    b.label("line_loop")
+    b.cmp(Gp(6), max_lines + 1)
+    b.bge("next_order")
+    b.add(7, Gp(5), Gp(6))
+    b.search(cp=1, table=S.ORDER_LINE, key=Gp(7))
+    b.retn(8, 1)                                # 0 if the line is absent
+    b.cmp(Gp(8), 0)
+    b.be("next_line")
+    b.load(9, b.fld(8, 0))                      # item id
+    b.load(11, b.at(5))                         # stock key base
+    b.add(11, Gp(11), Gp(9))
+    b.search(cp=2, table=S.STOCK, key=Gp(11))
+    b.ret(12, 2)
+    b.load(13, b.fld(12, S.S_FIELD_QUANTITY))
+    b.load(14, b.at(2))                         # threshold
+    b.cmp(Gp(13), Gp(14))
+    b.bge("next_line")
+    b.add(10, Gp(10), 1)
+    b.label("next_line")
+    b.add(6, Gp(6), 1)
+    b.jmp("line_loop")
+    b.label("next_order")
+    b.add(3, Gp(3), 1)
+    b.jmp("order_loop")
+    b.label("done")
+    b.store(Gp(10), b.at(layout.out))
+    b.commit_handler()
+    b.commit()
+    return b.build()
+
+
+PROC_ORDERSTATUS = 41
+PROC_DELIVERY = 42
+
+
+def orderstatus_layout() -> BlockLayout:
+    return BlockLayout(n_inputs=2, n_outputs=3, n_scratch=2, n_undo=2,
+                       n_scan=1)
+
+
+def orderstatus_procedure() -> Program:
+    """TPC-C OrderStatus (read-only, extension beyond the paper's mix).
+
+    Reads the customer's balance and walks the order lines of their
+    most recent order, found via the last-order pointer NewOrder
+    maintains in the customer row.  Inputs: @0 customer key.
+    Outputs: balance, last order key, line count.
+    """
+    layout = orderstatus_layout()
+    b = ProcedureBuilder("tpcc_orderstatus")
+    b.search(cp=0, table=S.CUSTOMER, key=b.at(0))
+    b.ret(0, 0)
+    b.load(1, b.fld(0, S.C_FIELD_BALANCE))
+    b.load(2, b.fld(0, S.C_FIELD_LAST_O))
+    b.mov(5, 0)                              # line count
+    b.cmp(Gp(2), 0)
+    b.be("done")                             # customer never ordered
+    b.search(cp=1, table=S.ORDERS, key=Gp(2))
+    b.ret(3, 1)
+    b.load(4, b.fld(3, S.O_FIELD_OL_CNT))
+    b.mul(6, Gp(2), 100)                     # order-line key base
+    b.mov(7, 1)
+    b.label("line_loop")
+    b.cmp(Gp(7), Gp(4))
+    b.bgt("done")
+    b.add(8, Gp(6), Gp(7))
+    b.search(cp=2, table=S.ORDER_LINE, key=Gp(8))
+    b.ret(9, 2)
+    b.load(10, b.fld(9, S.OL_FIELD_I_ID))    # touch the line
+    b.add(5, Gp(5), 1)
+    b.add(7, Gp(7), 1)
+    b.jmp("line_loop")
+    b.label("done")
+    b.store(Gp(1), b.at(layout.out))
+    b.store(Gp(2), b.at(layout.out + 1))
+    b.store(Gp(5), b.at(layout.out + 2))
+    b.commit_handler()
+    b.commit()
+    return b.build()
+
+
+def delivery_layout(districts: int = 10, max_lines: int = 15) -> BlockLayout:
+    # UNDO slots: per district, up to carrier + lines + balance + pointer
+    return BlockLayout(n_inputs=3, n_outputs=2, n_scratch=2,
+                       n_undo=districts * (max_lines + 3) + 4, n_scan=1)
+
+
+def delivery_procedure(districts: int = 10, max_lines: int = 15) -> Program:
+    """TPC-C Delivery (extension beyond the paper's mix).
+
+    For each district of the warehouse: take the oldest undelivered
+    order (the district row's next-delivery pointer), remove its
+    NEW_ORDER row, stamp the order's carrier, mark its order lines
+    delivered, credit the customer's balance with the line quantities
+    (simplification: amounts are quantities), and advance the pointer.
+    Inputs: @0 warehouse id (plain w), @1 carrier id, @2 delivery date.
+    Output: number of orders delivered.
+
+    A single heavy read-write transaction with dynamic loops, RETN
+    probes and per-district data dependencies — the stress test for the
+    softcore's control flow.
+    """
+    layout = delivery_layout()
+    b = ProcedureBuilder("tpcc_delivery")
+    b.load(0, b.at(0))                       # w
+    b.mov(15, 0)                             # delivered count
+    b.mov(1, 1)                              # d
+    b.label("district_loop")
+    b.cmp(Gp(1), districts + 1)
+    b.bge("done")
+    # district key and row
+    b.mul(2, Gp(0), 100)
+    b.add(2, Gp(2), Gp(1))                   # dkey
+    b.update(cp=0, table=S.DISTRICT, key=Gp(2))
+    b.ret(3, 0)
+    b.load(4, b.fld(3, S.D_FIELD_NEXT_DELIV))
+    b.load(5, b.fld(3, S.D_FIELD_NEXT_O_ID))
+    b.cmp(Gp(4), Gp(5))
+    b.bge("next_district")                   # nothing undelivered
+    # okey = dkey * 10^7 + next_deliv
+    b.mul(6, Gp(2), 10_000_000)
+    b.add(6, Gp(6), Gp(4))
+    b.remove(cp=1, table=S.NEW_ORDER, key=Gp(6))
+    b.retn(7, 1)
+    b.cmp(Gp(7), 0)
+    b.be("advance")                          # order already delivered
+    b.update(cp=2, table=S.ORDERS, key=Gp(6))
+    b.ret(8, 2)
+    b.load(9, b.fld(8, S.O_FIELD_C_ID))      # c_id
+    b.load(10, b.fld(8, S.O_FIELD_OL_CNT))   # ol_cnt
+    b.load(11, b.at(1))                      # carrier id
+    b.wrfield(8, S.O_FIELD_CARRIER, Gp(11))
+    # walk the lines: stamp delivery date, sum quantities
+    b.mul(12, Gp(6), 100)                    # ol key base
+    b.mov(13, 1)
+    b.mov(14, 0)                             # amount (qty sum)
+    b.label("line_loop")
+    b.cmp(Gp(13), Gp(10))
+    b.bgt("credit")
+    b.add(16, Gp(12), Gp(13))
+    b.update(cp=3, table=S.ORDER_LINE, key=Gp(16))
+    b.ret(17, 3)
+    b.load(18, b.fld(17, S.OL_FIELD_QTY))
+    b.add(14, Gp(14), Gp(18))
+    b.load(19, b.at(2))                      # delivery date
+    b.wrfield(17, S.OL_FIELD_DELIVERY_D, Gp(19))
+    b.add(13, Gp(13), 1)
+    b.jmp("line_loop")
+    b.label("credit")
+    # customer key = dkey * 100000 + c_id
+    b.mul(20, Gp(2), 100_000)
+    b.add(20, Gp(20), Gp(9))
+    b.update(cp=4, table=S.CUSTOMER, key=Gp(20))
+    b.ret(21, 4)
+    b.load(22, b.fld(21, S.C_FIELD_BALANCE))
+    b.add(22, Gp(22), Gp(14))
+    b.wrfield(21, S.C_FIELD_BALANCE, Gp(22))
+    b.add(15, Gp(15), 1)
+    b.label("advance")
+    b.add(4, Gp(4), 1)
+    b.wrfield(3, S.D_FIELD_NEXT_DELIV, Gp(4))
+    b.label("next_district")
+    b.add(1, Gp(1), 1)
+    b.jmp("district_loop")
+    b.label("done")
+    b.store(Gp(15), b.at(layout.out))
+    b.commit_handler()
+    b.commit()
+    return b.build()
+
+
+def neworder_layout(ol_cnt: int) -> BlockLayout:
+    # UNDO slots: district next_o_id + two stock fields per line
+    return BlockLayout(n_inputs=4 * ol_cnt + 7, n_outputs=2, n_scratch=2,
+                       n_undo=2 * ol_cnt + 4, n_scan=1)
+
+
+def neworder_procedure(ol_cnt: int) -> Program:
+    """One NewOrder with exactly ``ol_cnt`` order lines (unrolled)."""
+    if not MIN_OL_CNT <= ol_cnt <= MAX_OL_CNT:
+        raise ValueError(f"ol_cnt must be in [{MIN_OL_CNT}, {MAX_OL_CNT}]")
+    K = ol_cnt
+    layout = neworder_layout(K)
+    b = ProcedureBuilder(f"tpcc_neworder_{K}")
+
+    cp_wh, cp_dist, cp_cust = 0, 1, 2
+    cp_item = lambda i: 3 + i                 # noqa: E731
+    cp_stock = lambda i: 3 + K + i            # noqa: E731
+    cp_order = 3 + 2 * K
+    cp_new_order = cp_order + 1
+    cp_ol = lambda i: cp_order + 2 + i        # noqa: E731
+
+    # ---- transaction logic -------------------------------------------
+    # independent probes dispatched back to back (index parallelism).
+    # The customer takes a write intent: NewOrder maintains the
+    # customer's last-order pointer (used by OrderStatus).
+    b.search(cp=cp_wh, table=S.WAREHOUSE, key=b.at(0))
+    b.update(cp=cp_dist, table=S.DISTRICT, key=b.at(1))
+    b.update(cp=cp_cust, table=S.CUSTOMER, key=b.at(2))
+    for i in range(K):
+        b.search(cp=cp_item(i), table=S.ITEM, key=b.at(5 + 3 * i))
+    for i in range(K):
+        b.update(cp=cp_stock(i), table=S.STOCK, key=b.at(6 + 3 * i))
+
+    # the data dependency: the order id gates every insert key
+    b.ret(0, cp_dist)                      # blocks for the district tuple
+    b.load(1, b.fld(0, S.D_FIELD_NEXT_O_ID))
+    b.add(2, Gp(1), 1)
+    b.wrfield(0, S.D_FIELD_NEXT_O_ID, Gp(2))
+    b.load(3, b.at(3))                     # orders base key
+    b.add(4, Gp(3), Gp(1))                 # o_key
+    b.insert(cp=cp_order, table=S.ORDERS, key=Gp(4),
+             payload=b.at(5 + 3 * K))
+    b.insert(cp=cp_new_order, table=S.NEW_ORDER, key=Gp(4),
+             payload=b.at(6 + 3 * K))
+    for i in range(K):
+        b.mul(5, Gp(4), 100)
+        b.add(5, Gp(5), i + 1)
+        b.insert(cp=cp_ol(i), table=S.ORDER_LINE, key=Gp(5),
+                 payload=b.at(7 + 3 * K + i))
+
+    # stock quantity maintenance (more blocking RETs)
+    for i in range(K):
+        b.ret(6, cp_stock(i))
+        b.load(7, b.fld(6, S.S_FIELD_QUANTITY))
+        b.load(8, b.at(7 + 3 * i))         # ordered quantity
+        b.sub(7, Gp(7), Gp(8))
+        b.cmp(Gp(7), 10)
+        b.bge(f"stock_ok_{i}")
+        b.add(7, Gp(7), 91)
+        b.label(f"stock_ok_{i}")
+        b.wrfield(6, S.S_FIELD_QUANTITY, Gp(7))
+        b.load(9, b.fld(6, S.S_FIELD_ORDER_CNT))
+        b.add(9, Gp(9), 1)
+        b.wrfield(6, S.S_FIELD_ORDER_CNT, Gp(9))
+
+    # ---- commit handler -----------------------------------------------
+    b.commit_handler()
+    b.ret(0, cp_wh)
+    b.ret(0, cp_cust)
+    b.wrfield(0, S.C_FIELD_LAST_O, Gp(4))  # customer's last order key
+    b.mov(11, 0)                           # order total
+    for i in range(K):
+        b.ret(9, cp_item(i))
+        b.load(10, b.fld(9, S.I_FIELD_PRICE))
+        b.load(8, b.at(7 + 3 * i))
+        b.mul(10, Gp(10), Gp(8))
+        b.add(11, Gp(11), Gp(10))
+    b.ret(0, cp_order)
+    b.ret(0, cp_new_order)
+    for i in range(K):
+        b.ret(0, cp_ol(i))
+    b.store(Gp(11), b.at(layout.out))      # order total -> output
+    b.store(Gp(4), b.at(layout.out + 1))   # o_key -> output
+    b.commit()
+    return b.build()

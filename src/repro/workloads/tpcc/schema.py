@@ -1,0 +1,169 @@
+"""TPC-C schema for the NewOrder/Payment mix (§5.3).
+
+The database is partitioned by warehouse; the Item table is read-only
+and replicated across partitions.  Composite keys are encoded as
+integers so stored procedures can *compute* keys with ADD/MUL (the
+order id assigned by a NewOrder flows into its ORDER/ORDER-LINE insert
+keys — the data dependency the paper blames for TPC-C's serial
+execution).
+
+Key encodings (w = warehouse id 1.., d = district 1..10):
+
+==============  =====================================  =========
+table           key                                    w divisor
+==============  =====================================  =========
+WAREHOUSE       w                                      1
+DISTRICT        w*100 + d                              100
+CUSTOMER        (w*100 + d)*100_000 + c                10**7
+ITEM            i                                      replicated
+STOCK           w*1_000_000 + i                        10**6
+ORDERS          (w*100 + d)*10_000_000 + o             10**9
+NEW_ORDER       same as ORDERS                         10**9
+ORDER_LINE      orders_key*100 + ol_number             10**11
+HISTORY         w*10**13 + unique id                   10**13
+==============  =====================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...mem.schema import IndexKind, TableSchema
+
+__all__ = [
+    "TpccConfig", "tpcc_schemas",
+    "WAREHOUSE", "DISTRICT", "CUSTOMER", "ITEM", "STOCK",
+    "ORDERS", "NEW_ORDER", "ORDER_LINE", "HISTORY",
+    "warehouse_key", "district_key", "customer_key", "stock_key",
+    "orders_base", "orders_key", "order_line_key", "history_key",
+    "W_FIELD_YTD", "W_FIELD_TAX", "D_FIELD_YTD", "D_FIELD_NEXT_O_ID",
+    "D_FIELD_NEXT_DELIV", "C_FIELD_BALANCE", "C_FIELD_YTD",
+    "C_FIELD_PAYMENT_CNT", "C_FIELD_LAST_O",
+    "O_FIELD_C_ID", "O_FIELD_OL_CNT", "O_FIELD_CARRIER",
+    "OL_FIELD_I_ID", "OL_FIELD_QTY", "OL_FIELD_DELIVERY_D",
+    "I_FIELD_PRICE", "S_FIELD_QUANTITY", "S_FIELD_YTD", "S_FIELD_ORDER_CNT",
+]
+
+WAREHOUSE = 1
+DISTRICT = 2
+CUSTOMER = 3
+ITEM = 4
+STOCK = 5
+ORDERS = 6
+NEW_ORDER = 7
+ORDER_LINE = 8
+HISTORY = 9
+
+# field indexes
+W_FIELD_TAX = 1
+W_FIELD_YTD = 2
+D_FIELD_YTD = 1
+D_FIELD_NEXT_O_ID = 2
+D_FIELD_NEXT_DELIV = 3     # smallest undelivered order id (Delivery)
+C_FIELD_BALANCE = 1
+C_FIELD_YTD = 2
+C_FIELD_PAYMENT_CNT = 3
+C_FIELD_LAST_O = 4         # customer's most recent order key (OrderStatus)
+O_FIELD_C_ID = 0
+O_FIELD_OL_CNT = 1
+O_FIELD_CARRIER = 2        # overwritten from entry date by Delivery
+OL_FIELD_I_ID = 0
+OL_FIELD_QTY = 1
+OL_FIELD_DELIVERY_D = 2
+I_FIELD_PRICE = 1
+S_FIELD_QUANTITY = 0
+S_FIELD_YTD = 1
+S_FIELD_ORDER_CNT = 2
+
+
+def warehouse_key(w: int) -> int:
+    return w
+
+
+def district_key(w: int, d: int) -> int:
+    return w * 100 + d
+
+
+def customer_key(w: int, d: int, c: int) -> int:
+    return district_key(w, d) * 100_000 + c
+
+
+def stock_key(w: int, i: int) -> int:
+    return w * 1_000_000 + i
+
+
+def orders_base(w: int, d: int) -> int:
+    return district_key(w, d) * 10_000_000
+
+
+def orders_key(w: int, d: int, o: int) -> int:
+    return orders_base(w, d) + o
+
+
+def order_line_key(okey: int, ol_number: int) -> int:
+    return okey * 100 + ol_number
+
+
+def history_key(w: int, unique_id: int) -> int:
+    return w * 10**13 + unique_id
+
+
+def _by_warehouse(divisor: int):
+    def fn(key, n_partitions):
+        w = key // divisor
+        return (w - 1) % n_partitions
+    return fn
+
+
+@dataclass
+class TpccConfig:
+    """Scale knobs.  TPC-C full scale is districts=10, customers=3000,
+    items=100_000; the defaults are a reduced but structurally
+    identical configuration so simulations load in seconds.  One
+    warehouse per partition, as in the paper."""
+
+    n_partitions: int = 4
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 300
+    items: int = 10_000
+    remote_payment_fraction: float = 0.15
+    remote_neworder_fraction: float = 0.01
+    seed: int = 7
+
+    @property
+    def n_warehouses(self) -> int:
+        return self.n_partitions
+
+
+def tpcc_schemas(cfg: TpccConfig) -> List[TableSchema]:
+    def buckets(expected_rows: int) -> int:
+        return 1 << max(6, (expected_rows * 2 - 1).bit_length())
+
+    per_part_customers = cfg.districts_per_warehouse * cfg.customers_per_district
+    return [
+        TableSchema(WAREHOUSE, "warehouse", IndexKind.HASH, n_fields=3,
+                    hash_buckets=64, partition_fn=_by_warehouse(1)),
+        TableSchema(DISTRICT, "district", IndexKind.HASH, n_fields=4,
+                    hash_buckets=64, partition_fn=_by_warehouse(100)),
+        TableSchema(CUSTOMER, "customer", IndexKind.HASH, n_fields=5,
+                    hash_buckets=buckets(per_part_customers),
+                    partition_fn=_by_warehouse(10**7)),
+        TableSchema(ITEM, "item", IndexKind.HASH, n_fields=2,
+                    hash_buckets=buckets(cfg.items), replicated=True),
+        TableSchema(STOCK, "stock", IndexKind.HASH, n_fields=3,
+                    hash_buckets=buckets(cfg.items),
+                    partition_fn=_by_warehouse(10**6)),
+        TableSchema(ORDERS, "orders", IndexKind.HASH, n_fields=3,
+                    hash_buckets=buckets(1 << 15),
+                    partition_fn=_by_warehouse(10**9)),
+        TableSchema(NEW_ORDER, "new_order", IndexKind.HASH, n_fields=1,
+                    hash_buckets=buckets(1 << 15),
+                    partition_fn=_by_warehouse(10**9)),
+        TableSchema(ORDER_LINE, "order_line", IndexKind.HASH, n_fields=3,
+                    hash_buckets=buckets(1 << 17),
+                    partition_fn=_by_warehouse(10**11)),
+        TableSchema(HISTORY, "history", IndexKind.HASH, n_fields=2,
+                    hash_buckets=buckets(1 << 14),
+                    partition_fn=_by_warehouse(10**13)),
+    ]

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the BionicDB reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ClockDomain, DramModel, Engine, Heap, StatsRegistry
+
+
+class SimEnv:
+    """A bundled engine + FPGA clock + DRAM used across index tests."""
+
+    def __init__(self, latency_cycles: float = 60.0, channels: int = 8):
+        self.engine = Engine()
+        self.clock = ClockDomain(self.engine, 125.0, name="fpga")
+        self.heap = Heap()
+        self.stats = StatsRegistry()
+        self.dram = DramModel(self.engine, self.clock, self.heap,
+                              latency_cycles=latency_cycles, channels=channels,
+                              stats=self.stats)
+
+    def run(self, until: float | None = None) -> float:
+        return self.engine.run(until=until)
+
+
+@pytest.fixture
+def env() -> SimEnv:
+    return SimEnv()
+
+
+def collect_results(requests):
+    """Attach a collector to DbRequests; returns the shared results list."""
+    results = []
+
+    def on_complete(req, result):
+        results.append((req, result))
+
+    for r in requests:
+        r.on_complete = on_complete
+    return results

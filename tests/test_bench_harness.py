@@ -1,0 +1,67 @@
+"""Unit tests for the bench harness: reports, CLI plumbing."""
+
+import pytest
+
+from repro.bench.report import FigureReport, Series, format_quantity
+
+
+class TestFormatQuantity:
+    def test_units(self):
+        assert format_quantity(450_000, "kTps").strip() == "450.0 kTps"
+        assert format_quantity(8_500_000, "Mops").strip() == "8.500 Mops"
+        assert format_quantity(48.0, "ns").strip() == "48.0 ns"
+        assert format_quantity(11.54, "W").strip() == "11.54 W"
+
+
+class TestFigureReport:
+    def _report(self):
+        r = FigureReport("Fig X", "demo", x_label="n", unit="kTps")
+        r.xs = [1, 2, 4]
+        a = r.new_series("A")
+        b = r.new_series("B")
+        for x in r.xs:
+            a.add(x * 1000.0)
+            b.add(x * 500.0)
+        return r
+
+    def test_value_lookup(self):
+        r = self._report()
+        assert r.value("A", 2) == 2000.0
+        assert r.value("B", 4) == 2000.0
+        with pytest.raises(KeyError):
+            r.value("C", 1)
+        with pytest.raises(ValueError):
+            r.value("A", 99)
+
+    def test_render_contains_rows_and_expectations(self):
+        r = self._report()
+        r.paper_expectations["peak"] = "~4 kTps"
+        r.note("a note")
+        text = r.render()
+        assert "Fig X" in text and "peak" in text and "a note" in text
+        assert text.count("\n") >= 6
+
+    def test_show_returns_self(self, capsys):
+        r = self._report()
+        assert r.show() is r
+        assert "Fig X" in capsys.readouterr().out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9a" in out and "ext-cluster" in out
+
+    def test_unknown_experiment_errors(self):
+        from repro.bench.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_runs_one_and_writes_output(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+        out_file = tmp_path / "r.md"
+        assert main(["table3", "-o", str(out_file)]) == 0
+        assert "Table 3" in capsys.readouterr().out
+        assert "Table 3" in out_file.read_text()

@@ -1,0 +1,157 @@
+"""Tests for the multi-node cluster extension (§4.6 future work)."""
+
+import pytest
+
+from repro.cluster import BionicCluster, ClusterError
+from repro.core import BionicConfig
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import IndexKind, TableSchema, TxnStatus
+
+
+def range_partition(per_part):
+    return lambda key, parts: min(key // per_part, parts - 1)
+
+
+def read_proc(n=1):
+    b = ProcedureBuilder(f"read{n}")
+    for i in range(n):
+        b.search(cp=i, table=0, key=b.at(i))
+    b.commit_handler()
+    for i in range(n):
+        b.ret(0, i)
+        b.store(Gp(0), b.at(n + i))
+    b.commit()
+    return b.build()
+
+
+def update_proc():
+    b = ProcedureBuilder("upd")
+    b.update(cp=0, table=0, key=b.at(0))
+    b.commit_handler()
+    b.ret(0, 0)
+    b.load(1, b.at(1))
+    b.wrfield(0, 0, Gp(1))
+    b.commit()
+    return b.build()
+
+
+def make_cluster(n_nodes=2, workers_per_node=2):
+    cluster = BionicCluster(n_nodes=n_nodes,
+                            config=BionicConfig(n_workers=workers_per_node))
+    # 1000 keys per global partition
+    cluster.define_table(TableSchema(0, "kv", index_kind=IndexKind.HASH,
+                                     hash_buckets=4096,
+                                     partition_fn=range_partition(1000)))
+    cluster.register_procedure(0, read_proc(1))
+    cluster.register_procedure(1, update_proc())
+    cluster.register_procedure(2, read_proc(2))
+    return cluster
+
+
+class TestClusterBasics:
+    def test_topology(self):
+        c = make_cluster()
+        assert c.total_workers == 4
+        assert [c.node_of(w) for w in range(4)] == [0, 0, 1, 1]
+        assert len(c.drams) == 2
+        assert c.drams[0].heap is not c.drams[1].heap  # shared nothing
+
+    def test_local_transactions_on_each_node(self):
+        c = make_cluster()
+        for key in (10, 1010, 2010, 3010):
+            c.load(0, key, [f"v{key}"])
+        blocks = [c.new_block(0, [k], worker=k // 1000)
+                  for k in (10, 1010, 2010, 3010)]
+        report = c.run_all(blocks, workers=[0, 1, 2, 3])
+        assert report.committed == 4
+
+    def test_same_node_remote_access(self):
+        c = make_cluster()
+        c.load(0, 1500, ["neighbor"])  # partition 1 (node 0)
+        block = c.new_block(0, [1500], worker=0)
+        c.submit(block)
+        c.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        assert c.stats.counter("comm.internode_messages").value == 0
+
+    def test_cross_node_read(self):
+        c = make_cluster()
+        c.load(0, 2500, ["far-away"])  # partition 2 (node 1)
+        block = c.new_block(0, [2500], worker=0)
+        c.submit(block)
+        c.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        assert c.stats.counter("comm.internode_messages").value == 2  # rq+rsp
+
+    def test_cross_node_read_sees_data(self):
+        c = make_cluster()
+        c.load(0, 100, ["local"])
+        c.load(0, 3100, ["remote-node"])
+        block = c.new_block(2, [100, 3100], worker=0)
+        c.submit(block)
+        c.run()
+        assert block.header.status is TxnStatus.COMMITTED
+
+    def test_cross_node_write_rejected(self):
+        c = make_cluster()
+        c.load(0, 2500, ["x"])
+        block = c.new_block(1, [2500, "nope"], worker=0)
+        c.submit(block)
+        with pytest.raises(ClusterError):
+            c.run()
+
+    def test_same_node_write_allowed(self):
+        c = make_cluster()
+        c.load(0, 1500, ["old"])  # partition 1, same node as worker 0
+        block = c.new_block(1, [1500, "new"], worker=0)
+        c.submit(block)
+        c.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        assert c.lookup(0, 1500).fields == ["new"]
+
+
+class TestClusterLatency:
+    def test_internode_latency_dominates(self):
+        """A cross-node read pays ~2x the inter-node link latency; a
+        same-node remote read pays only the on-chip channels."""
+        def txn_time(key):
+            c = make_cluster()
+            c.load(0, key, ["v"])
+            block = c.new_block(0, [key], worker=0)
+            t0 = c.engine.now
+            c.submit(block)
+            c.run()
+            return c.engine.now - t0
+
+        local_remote = txn_time(1500)    # same node
+        cross_node = txn_time(2500)      # other node
+        # ~2 x 1.5 us of link latency, minus the KeyFetch DRAM read the
+        # inlined key saves (~680 ns)
+        assert cross_node > local_remote + 2000
+
+    def test_missing_cross_node_key_aborts(self):
+        c = make_cluster()
+        block = c.new_block(0, [3999], worker=0)
+        c.submit(block)
+        c.run()
+        assert block.header.status is TxnStatus.ABORTED
+
+
+class TestClusterThroughput:
+    def test_two_nodes_scale_local_work(self):
+        def run(n_nodes):
+            c = make_cluster(n_nodes=n_nodes, workers_per_node=2)
+            per = 1000
+            total_parts = n_nodes * 2
+            for p in range(total_parts):
+                for k in range(40):
+                    c.load(0, p * per + k, [k])
+            blocks, homes = [], []
+            for t in range(40 * total_parts):
+                p = t % total_parts
+                blocks.append(c.new_block(0, [p * per + (t % 40)], worker=p))
+                homes.append(p)
+            report = c.run_all(blocks, workers=homes)
+            return report.throughput_tps
+
+        assert run(2) > run(1) * 1.6  # near-linear scale-out on local work

@@ -1,0 +1,145 @@
+"""Unit tests for the hierarchical (cluster) interconnect."""
+
+import pytest
+
+from repro.cluster import ClusterError, HierarchicalInterconnect
+from repro.comm import RequestPacket, ResponsePacket
+from repro.index.common import DbRequest
+from repro.isa import Opcode
+from repro.sim import ClockDomain, Engine
+
+
+def make(node_of=(0, 0, 1, 1), inter_ns=1500.0):
+    eng = Engine()
+    clock = ClockDomain(eng, 125.0)
+    ic = HierarchicalInterconnect(eng, clock, node_of,
+                                  inter_latency_ns=inter_ns)
+    return eng, clock, ic
+
+
+def search_req(**kw):
+    return DbRequest(op=Opcode.SEARCH, table_id=0, ts=1, txn_id=1, **kw)
+
+
+class TestHierarchicalInterconnect:
+    def test_same_node_uses_onchip_latency(self):
+        eng, clock, ic = make()
+        got = []
+
+        def recv():
+            yield ic.link(1).requests.get()
+            got.append(eng.now)
+
+        eng.process(recv())
+        ic.send_request(RequestPacket(src_worker=0, dst_worker=1,
+                                      request=search_req(key_value=1)))
+        eng.run()
+        assert got == [pytest.approx(clock.ns(3))]
+
+    def test_cross_node_pays_link_latency(self):
+        eng, _clock, ic = make(inter_ns=2000.0)
+        got = []
+
+        def recv():
+            yield ic.link(2).requests.get()
+            got.append(eng.now)
+
+        eng.process(recv())
+        ic.send_request(RequestPacket(src_worker=0, dst_worker=2,
+                                      request=search_req(key_value=1)))
+        eng.run()
+        assert got == [pytest.approx(2000.0)]
+        assert ic.stats.counter("comm.internode_messages").value == 1
+
+    def test_cross_node_key_inlined(self):
+        eng, _clock, ic = make()
+        req = search_req(key_addr=12345, route_key=77)
+        ic.send_request(RequestPacket(src_worker=0, dst_worker=3, request=req))
+        assert req.key_value == 77
+        assert req.key_addr is None
+
+    def test_same_node_key_untouched(self):
+        eng, _clock, ic = make()
+        req = search_req(key_addr=12345, route_key=77)
+        ic.send_request(RequestPacket(src_worker=0, dst_worker=1, request=req))
+        assert req.key_addr == 12345
+        assert req.key_value is None
+
+    @pytest.mark.parametrize("op", [Opcode.UPDATE, Opcode.REMOVE,
+                                    Opcode.INSERT, Opcode.SCAN])
+    def test_cross_node_writes_and_scans_rejected(self, op):
+        eng, _clock, ic = make()
+        req = DbRequest(op=op, table_id=0, ts=1, txn_id=1, route_key=5)
+        with pytest.raises(ClusterError):
+            ic.send_request(RequestPacket(src_worker=0, dst_worker=2,
+                                          request=req))
+
+    def test_same_node_writes_allowed(self):
+        eng, _clock, ic = make()
+        req = DbRequest(op=Opcode.UPDATE, table_id=0, ts=1, txn_id=1,
+                        key_addr=9, route_key=5)
+        ic.send_request(RequestPacket(src_worker=0, dst_worker=1, request=req))
+
+    def test_inter_node_lane_serialisation(self):
+        eng, _clock, ic = make(inter_ns=1000.0)
+        arrivals = []
+
+        def recv():
+            while True:
+                yield ic.link(2).requests.get()
+                arrivals.append(eng.now)
+
+        eng.process(recv())
+        for _ in range(3):
+            ic.send_request(RequestPacket(src_worker=0, dst_worker=2,
+                                          request=search_req(key_value=1)))
+        eng.run(until=100_000)
+        assert arrivals == [pytest.approx(1000.0), pytest.approx(1050.0),
+                            pytest.approx(1100.0)]
+
+    def test_responses_cross_nodes_freely(self):
+        from repro.txn import DbResult, ResultCode
+        eng, _clock, ic = make()
+        got = []
+
+        def recv():
+            pkt = yield ic.link(0).responses.get()
+            got.append((eng.now, pkt.result.code))
+
+        eng.process(recv())
+        ic.send_response(ResponsePacket(
+            src_worker=3, dst_worker=0, cp_index=1, txn_id=1,
+            result=DbResult(ResultCode.OK)))
+        eng.run()
+        assert got[0][0] == pytest.approx(1500.0)
+        assert got[0][1] is pytest.approx(0) or got[0][1].value == 0
+
+    def test_bad_destination(self):
+        eng, _clock, ic = make()
+        with pytest.raises(ValueError):
+            ic.send_request(RequestPacket(src_worker=0, dst_worker=9,
+                                          request=search_req(key_value=1)))
+
+    def test_latency_properties(self):
+        _eng, clock, ic = make()
+        assert ic.primitive_latency_ns == pytest.approx(clock.ns(3))
+        assert ic.roundtrip_latency_ns == pytest.approx(clock.ns(6))
+        assert ic.internode_roundtrip_ns == pytest.approx(3000.0)
+
+
+class TestPublicApi:
+    def test_top_level_imports(self):
+        import repro
+        assert repro.__version__
+        from repro.core import BionicConfig, BionicDB, RunReport  # noqa
+        from repro.cluster import BionicCluster  # noqa
+        from repro.baseline import SiloEngine, SiloTpcc, SiloYcsb  # noqa
+        from repro.host import (  # noqa
+            CommandLog, DurableClient, OpenLoopClient, RecoveryManager,
+            compact, take_checkpoint,
+        )
+        from repro.workloads import TpccWorkload, YcsbWorkload  # noqa
+        from repro.isa import ProcedureBuilder, assemble, disassemble  # noqa
+        from repro.sim import Engine, Tracer  # noqa
+        import repro.bench as bench
+        assert len([n for n in bench.__all__ if n.startswith("run_")]) >= 20

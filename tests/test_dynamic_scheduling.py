@@ -1,0 +1,85 @@
+"""Tests for the dynamic transaction scheduling extension (§4.5)."""
+
+import pytest
+
+from repro.core import BionicConfig, BionicDB
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import IndexKind, TableSchema, TxnStatus
+from repro.softcore import SoftcoreConfig
+
+
+def chain_proc(n_hops: int):
+    """n dependent probes: each RET gates the next SEARCH (the data
+    dependency pattern that makes static interleaving useless)."""
+    b = ProcedureBuilder(f"chain{n_hops}")
+    for i in range(n_hops):
+        b.search(cp=i, table=0, key=b.at(i))
+        b.ret(0, i)                      # blocks until this probe lands
+    b.commit_handler()
+    b.store(Gp(0), b.at(n_hops))
+    b.commit()
+    return b.build()
+
+
+def make_db(dynamic: bool, n_workers: int = 1):
+    db = BionicDB(BionicConfig(
+        n_workers=n_workers,
+        softcore=SoftcoreConfig(interleaving=True,
+                                dynamic_scheduling=dynamic)))
+    db.define_table(TableSchema(0, "kv", index_kind=IndexKind.HASH,
+                                hash_buckets=4096,
+                                partition_fn=lambda k, n: 0))
+    db.register_procedure(1, chain_proc(4))
+    for k in range(1000):
+        db.load(0, k, [k])
+    return db
+
+
+def run_chain_txns(db, n_txns=24):
+    blocks = [db.new_block(1, [(7 * t + i) % 1000 for i in range(4)],
+                           worker=0) for t in range(n_txns)]
+    return db.run_all(blocks, workers=[0] * n_txns), blocks
+
+
+class TestDynamicScheduling:
+    def test_all_commit(self):
+        db = make_db(dynamic=True)
+        report, blocks = run_chain_txns(db)
+        assert report.committed == len(blocks)
+        for block in blocks:
+            assert block.header.status is TxnStatus.COMMITTED
+
+    def test_results_identical_to_static(self):
+        rep_s, blocks_s = run_chain_txns(make_db(dynamic=False))
+        rep_d, blocks_d = run_chain_txns(make_db(dynamic=True))
+        outs_s = [b.outputs()[:1] for b in blocks_s]
+        outs_d = [b.outputs()[:1] for b in blocks_d]
+        assert outs_s == outs_d
+
+    def test_dynamic_overlaps_dependent_chains(self):
+        """RET-gated probes serialise the static softcore; dynamic
+        switching overlaps chains across transactions."""
+        rep_s, _ = run_chain_txns(make_db(dynamic=False))
+        rep_d, _ = run_chain_txns(make_db(dynamic=True))
+        assert rep_d.throughput_tps > rep_s.throughput_tps * 1.5
+
+    def test_dynamic_noop_for_commit_handler_rets(self):
+        """Only LOGIC-section RETs may trigger a switch; phase two
+        waits for the drain first, so its RETs never block."""
+        db = make_db(dynamic=True)
+        report, _ = run_chain_txns(db, n_txns=6)
+        assert report.aborted == 0
+
+    def test_register_exhaustion_closes_batch(self):
+        db = make_db(dynamic=True)
+        # 4 CP regs per txn -> 64 txns max per batch; submit 80
+        report, _ = run_chain_txns(db, n_txns=80)
+        assert report.committed == 80
+        assert db.stats.counter("worker0.batches").value >= 2
+
+    def test_abort_path_under_dynamic(self):
+        db = make_db(dynamic=True)
+        block = db.new_block(1, [9999, 1, 2, 3], worker=0)  # missing key
+        db.submit(block, 0)
+        db.run()
+        assert block.header.status is TxnStatus.ABORTED

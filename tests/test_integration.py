@@ -1,0 +1,149 @@
+"""Cross-module integration tests: mixed tables, zipfian, recovery of a
+TPC-C run, determinism, dynamic+multisite combinations."""
+
+import pytest
+
+from repro.core import BionicConfig, BionicDB
+from repro.host import CommandLog, DurableClient, RecoveryManager, take_checkpoint
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import IndexKind, TableSchema, TxnStatus
+from repro.softcore import SoftcoreConfig
+from repro.workloads import TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload
+from repro.workloads.tpcc import PROC_PAYMENT, payment_layout
+from repro.workloads.tpcc import schema as S
+
+
+class TestMixedTables:
+    def test_hash_and_skiplist_tables_in_one_transaction(self):
+        """One procedure touching a hash table and a skiplist table —
+        both pipelines of the same worker's coprocessor."""
+        db = BionicDB(BionicConfig(n_workers=1))
+        db.define_table(TableSchema(0, "point", index_kind=IndexKind.HASH,
+                                    hash_buckets=256,
+                                    partition_fn=lambda k, n: 0))
+        db.define_table(TableSchema(1, "range", index_kind=IndexKind.SKIPLIST,
+                                    partition_fn=lambda k, n: 0))
+        for k in range(50):
+            db.load(0, k, [f"h{k}"])
+            db.load(1, k, [f"s{k}"])
+        b = ProcedureBuilder("both")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.scan(cp=1, table=1, key=b.at(1), count=5, out=b.at(8))  # scan region
+        b.commit_handler()
+        b.ret(0, 0)
+        b.store(Gp(0), b.at(2))
+        b.ret(1, 1)
+        b.store(Gp(1), b.at(3))
+        b.commit()
+        db.register_procedure(1, b.build())
+        from repro.mem import BlockLayout
+        layout = BlockLayout(n_inputs=4, n_outputs=2, n_scratch=0,
+                             n_undo=2, n_scan=8)
+        # scan out buffer at data offset 6 == undo(6)?? use layout.scan
+        block = db.new_block(1, [7, 20, None, None], layout=layout, worker=0)
+        db.submit(block, 0)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        assert block.input_cell(3) == 5  # scan collected 5 tuples
+
+
+class TestZipfian:
+    def test_zipfian_stream_commits(self):
+        cfg = YcsbConfig(records_per_partition=2000, zipfian=True)
+        db = BionicDB(BionicConfig())
+        workload = YcsbWorkload(cfg)
+        workload.install(db)
+        report, _ = workload.submit_all(db, workload.make_read_txns(60))
+        assert report.committed == 60
+
+    def test_zipfian_updates_contend_more_than_uniform(self):
+        def aborts(zipfian):
+            cfg = YcsbConfig(records_per_partition=200, zipfian=zipfian,
+                             reads_per_txn=8)
+            db = BionicDB(BionicConfig())
+            workload = YcsbWorkload(cfg)
+            workload.install(db)
+            specs = workload.make_mixed_txns(80, 0.5, install_into=db)
+            report, _ = workload.submit_all(db, specs)
+            return report.aborted
+
+        # popular keys under zipf draw conflicting updates more often
+        assert aborts(True) >= aborts(False)
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        def run():
+            db = BionicDB(BionicConfig())
+            workload = YcsbWorkload(YcsbConfig(records_per_partition=1500,
+                                               seed=99))
+            workload.install(db)
+            report, _ = workload.submit_all(db, workload.make_read_txns(50))
+            return (report.committed, report.elapsed_ns,
+                    db.stats.counter("dram.reads").value)
+
+        assert run() == run()
+
+
+class TestTpccRecovery:
+    def test_payment_stream_recovers(self):
+        def fresh():
+            db = BionicDB(BionicConfig(
+                n_workers=2, softcore=SoftcoreConfig(interleaving=False)))
+            workload = TpccWorkload(TpccConfig(n_partitions=2, items=100,
+                                               customers_per_district=20))
+            workload.install(db)
+            return db, workload
+
+        db, workload = fresh()
+        ckpt = take_checkpoint(db)
+        client = DurableClient(db)
+        specs = [workload.make_payment() for _ in range(10)]
+        for spec in specs:
+            client.execute(PROC_PAYMENT, list(spec.inputs),
+                           layout=payment_layout(), worker=spec.home)
+        committed_amounts = [spec.keys[5] for spec, rec in
+                             zip(specs, client.log.records())
+                             if rec.status == "committed"]
+        wh_total = sum(
+            db.lookup(S.WAREHOUSE, S.warehouse_key(w)).fields[2]
+            for w in (1, 2))
+        assert wh_total == sum(committed_amounts)
+
+        # crash + recover
+        db2, _workload2 = fresh()
+        manager = RecoveryManager(db2)
+        manager.restore_checkpoint(ckpt)
+        manager.replay(client.log)
+        wh_total2 = sum(
+            db2.lookup(S.WAREHOUSE, S.warehouse_key(w)).fields[2]
+            for w in (1, 2))
+        assert wh_total2 == wh_total
+        # history rows replayed too
+        for spec, rec in zip(specs, client.log.records()):
+            if rec.status == "committed":
+                h_key = spec.keys[6]
+                assert db2.lookup(S.HISTORY, h_key) is not None
+
+
+class TestDynamicMultisite:
+    def test_dynamic_scheduling_with_remote_reads(self):
+        """Blocked RETs on remote probes should also yield the core."""
+        cfg = YcsbConfig(records_per_partition=1000, remote_fraction=0.75)
+        db = BionicDB(BionicConfig(softcore=SoftcoreConfig(
+            interleaving=True, dynamic_scheduling=True)))
+        workload = YcsbWorkload(cfg)
+        workload.install(db)
+        report, _ = workload.submit_all(db, workload.make_read_txns(60))
+        assert report.committed == 60
+        assert db.stats.counter("comm.messages").value > 0
+
+
+class TestBackpressure:
+    def test_tiny_inflight_budget_still_completes(self):
+        db = BionicDB(BionicConfig())
+        workload = YcsbWorkload(YcsbConfig(records_per_partition=1000))
+        workload.install(db)
+        db.set_total_in_flight(4)  # 1 slot per coprocessor
+        report, _ = workload.submit_all(db, workload.make_read_txns(30))
+        assert report.committed == 30

@@ -1,0 +1,202 @@
+"""Unit tests for the ISA: instructions, builder, assembler, disassembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblyError, BlockRef, Cp, FieldRef, Gp, Imm, Instruction, IsaError,
+    Label, Opcode, ProcedureBuilder, Program, Section, assemble, assemble_one,
+    disassemble,
+)
+
+
+class TestOperands:
+    def test_register_bounds(self):
+        Gp(0), Gp(255), Cp(0), Cp(255)
+        with pytest.raises(IsaError):
+            Gp(256)
+        with pytest.raises(IsaError):
+            Cp(-1)
+
+    def test_blockref_repr(self):
+        assert repr(BlockRef(4)) == "@4"
+        assert repr(BlockRef(Gp(3), 2)) == "@r3+2"
+
+    def test_fieldref_repr(self):
+        assert repr(FieldRef(Gp(1), 2)) == "[r1+2]"
+
+
+class TestValidation:
+    def test_db_instruction_requires_cp_table_key(self):
+        inst = Instruction(Opcode.SEARCH)
+        with pytest.raises(IsaError):
+            inst.validate()
+
+    def test_scan_requires_count_and_out(self):
+        inst = Instruction(Opcode.SCAN, cp=Cp(0), table=0, key=BlockRef(0))
+        with pytest.raises(IsaError):
+            inst.validate()
+
+    def test_branch_requires_target(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.JMP).validate()
+
+    def test_undefined_label_rejected_at_finalize(self):
+        prog = Program("p")
+        prog.logic.append(Instruction(Opcode.JMP, target=Label("nowhere")))
+        with pytest.raises(IsaError, match="undefined label"):
+            prog.finalize()
+
+
+class TestBuilder:
+    def test_register_footprint(self):
+        b = ProcedureBuilder("p")
+        b.search(cp=5, table=0, key=b.at(0))
+        b.ret(9, 5)
+        prog = b.build()
+        assert prog.gp_needed == 10
+        assert prog.cp_needed == 6
+        assert prog.db_instruction_count == 1
+
+    def test_default_handlers_added(self):
+        b = ProcedureBuilder("p")
+        b.mov(0, 1)
+        prog = b.build()
+        assert prog.commit[0].opcode is Opcode.COMMIT
+        assert prog.abort[0].opcode is Opcode.ABORT
+
+    def test_labels_resolve_to_indices(self):
+        b = ProcedureBuilder("p")
+        b.mov(0, 0)
+        b.label("loop")
+        b.add(0, Gp(0), 1)
+        b.cmp(Gp(0), 5)
+        b.blt("loop")
+        prog = b.build()
+        assert prog.logic[-1].target == 1
+
+    def test_duplicate_label_rejected(self):
+        b = ProcedureBuilder("p")
+        b.label("x")
+        with pytest.raises(IsaError):
+            b.label("x")
+
+    def test_insert_with_payload_cell(self):
+        b = ProcedureBuilder("p")
+        b.insert(cp=0, table=1, key=Gp(4), payload=b.at(7))
+        prog = b.build()
+        assert prog.logic[0].b == BlockRef(7)
+
+
+ASM = """
+.proc demo
+.logic
+    SEARCH c0, t0, @0
+    UPDATE c1, t2, @8
+    SCAN c2, t1, @1, #50, @4
+    MOV r2, #0
+loop:
+    ADD r2, r2, #1
+    CMP r2, #3
+    BLT loop
+    LOAD r3, [r1+2]
+    STORE r3, @9
+    WRFIELD [r1+2], r3
+.commit
+    RET r1, c0
+    COMMIT
+.abort
+    ABORT
+"""
+
+
+class TestAssembler:
+    def test_assembles_sections(self):
+        prog = assemble_one(ASM)
+        assert prog.name == "demo"
+        assert len(prog.logic) == 10
+        assert prog.commit[-1].opcode is Opcode.COMMIT
+        assert prog.abort[0].opcode is Opcode.ABORT
+
+    def test_operand_kinds(self):
+        prog = assemble_one(ASM)
+        scan = prog.logic[2]
+        assert scan.cp == Cp(2) and scan.table == 1
+        assert scan.a == Imm(50) and scan.addr == BlockRef(4)
+        load = prog.logic[7]
+        assert load.addr == FieldRef(Gp(1), 2)
+
+    def test_branch_resolved(self):
+        prog = assemble_one(ASM)
+        blt = prog.logic[6]
+        assert blt.target == 4  # index of "loop:"
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble_one(".proc p\n.logic\n  ; nothing\n\n  NOP ; trailing\n")
+        assert prog.logic[0].opcode is Opcode.NOP
+
+    def test_unknown_opcode_reports_line(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble_one(".proc p\n.logic\n  FLY r0\n")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_one(".proc p\n.logic\n  SEARCH c0, t0, 5\n")
+
+    def test_multiple_procs(self):
+        text = ".proc a\n.logic\n NOP\n.proc b\n.logic\n NOP\n"
+        progs = assemble(text)
+        assert set(progs) == {"a", "b"}
+        with pytest.raises(IsaError):
+            assemble_one(text)
+
+    def test_instruction_before_proc_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("NOP\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="takes 3"):
+            assemble_one(".proc p\n.logic\n ADD r0, r1\n")
+
+
+class TestDisassembler:
+    def test_roundtrip(self):
+        prog = assemble_one(ASM)
+        text = disassemble(prog)
+        prog2 = assemble_one(text)
+        assert len(prog2.logic) == len(prog.logic)
+        assert [i.opcode for i in prog2.logic] == [i.opcode for i in prog.logic]
+        # branch targets survive the round trip
+        assert prog2.logic[6].target == prog.logic[6].target
+
+    def test_builder_program_disassembles(self):
+        b = ProcedureBuilder("x")
+        b.insert(cp=0, table=3, key=Gp(2), payload=b.at(4))
+        b.scan(cp=1, table=1, key=b.at(0), count=10, out=b.at(8))
+        text = disassemble(b.build())
+        assert "INSERT c0, t3, r2, @4" in text
+        assert "SCAN c1, t1, @0, #10, @8" in text
+        prog2 = assemble_one(text)
+        assert prog2.logic[0].b == BlockRef(4)
+
+
+class TestNamedTables:
+    def test_named_table_resolution(self):
+        prog = assemble_one(
+            ".proc p\n.logic\n"
+            "    SEARCH c0, customer, @0\n"
+            "    UPDATE c1, warehouse, @1\n"
+            "    SCAN c2, orders, @2, #5, @8\n"
+            "    INSERT c3, history, r0, @3\n",
+            tables={"customer": 3, "warehouse": 1, "orders": 6, "history": 9})
+        assert [i.table for i in prog.logic] == [3, 1, 6, 9]
+
+    def test_unknown_table_name_reports_line(self):
+        with pytest.raises(AssemblyError, match="unknown table name"):
+            assemble_one(".proc p\n.logic\n SEARCH c0, nosuch, @0\n")
+
+    def test_numeric_tables_still_work_alongside(self):
+        prog = assemble_one(
+            ".proc p\n.logic\n SEARCH c0, t7, @0\n SEARCH c1, kv, @1\n",
+            tables={"kv": 0})
+        assert prog.logic[0].table == 7
+        assert prog.logic[1].table == 0

@@ -1,0 +1,70 @@
+"""Tests for the open-loop Poisson client."""
+
+import pytest
+
+from repro.core import BionicConfig, BionicDB
+from repro.host import OpenLoopClient
+from repro.workloads import YcsbConfig, YcsbWorkload
+
+
+def build():
+    db = BionicDB(BionicConfig())
+    workload = YcsbWorkload(YcsbConfig(records_per_partition=1500))
+    workload.install(db)
+    return db, workload
+
+
+def make_factory(db, workload, specs):
+    def make_txn(i):
+        spec = specs[i]
+        block = db.new_block(spec.proc_id, list(spec.inputs),
+                             layout=workload.read_layout(len(spec.keys)),
+                             worker=spec.home)
+        return block, spec.home
+    return make_txn
+
+
+class TestOpenLoop:
+    def test_all_arrivals_complete(self):
+        db, workload = build()
+        specs = workload.make_read_txns(50)
+        client = OpenLoopClient(db)
+        report = client.run(make_factory(db, workload, specs), 50,
+                            offered_tps=50_000)
+        assert report.committed == 50
+        assert len(report.latencies_ns) == 50
+        assert report.mean_latency_ns > 0
+
+    def test_achieved_tracks_offered_below_saturation(self):
+        db, workload = build()
+        specs = workload.make_read_txns(80)
+        client = OpenLoopClient(db)
+        report = client.run(make_factory(db, workload, specs), 80,
+                            offered_tps=100_000)
+        assert 0.5 < report.achieved_tps / report.offered_tps < 2.0
+
+    def test_latency_rises_under_heavier_load(self):
+        def p99_at(rate):
+            db, workload = build()
+            specs = workload.make_read_txns(80)
+            client = OpenLoopClient(db, seed=3)
+            report = client.run(make_factory(db, workload, specs), 80,
+                                offered_tps=rate)
+            return report.percentile_ns(99)
+
+        assert p99_at(350_000) > p99_at(40_000)
+
+    def test_bad_rate_rejected(self):
+        db, workload = build()
+        client = OpenLoopClient(db)
+        with pytest.raises(ValueError):
+            client.run(lambda i: (None, 0), 1, offered_tps=0)
+
+    def test_percentile_validation(self):
+        db, workload = build()
+        specs = workload.make_read_txns(10)
+        client = OpenLoopClient(db)
+        report = client.run(make_factory(db, workload, specs), 10,
+                            offered_tps=50_000)
+        with pytest.raises(ValueError):
+            report.percentile_ns(101)

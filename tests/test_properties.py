@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baseline import BPlusTree, SoftwareSkiplist
+from repro.index.common import DbRequest, sdbm_hash
+from repro.index.hash.pipeline import HashIndexPipeline
+from repro.index.skiplist.pipeline import SkiplistPipeline
+from repro.isa import Opcode
+from repro.txn import HardwareClock, ResultCode, check_read, check_write
+from repro.mem.records import TupleRecord
+
+from conftest import SimEnv, collect_results
+
+keys = st.integers(min_value=-2**40, max_value=2**40)
+small_key_lists = st.lists(keys, min_size=1, max_size=40, unique=True)
+
+relaxed = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSdbmProperties:
+    @given(keys)
+    @relaxed
+    def test_deterministic(self, k):
+        assert sdbm_hash(k) == sdbm_hash(k)
+
+    @given(keys)
+    @relaxed
+    def test_in_64_bit_range(self, k):
+        assert 0 <= sdbm_hash(k) < 2**64
+
+    @given(st.tuples(keys, keys))
+    @relaxed
+    def test_tuple_keys_hash(self, t):
+        assert isinstance(sdbm_hash(t), int)
+
+    @given(st.text(max_size=64))
+    @relaxed
+    def test_string_keys_hash(self, s):
+        assert isinstance(sdbm_hash(s), int)
+
+
+class TestBPlusTreeProperties:
+    @given(small_key_lists)
+    @relaxed
+    def test_matches_dict_semantics(self, ks):
+        tree = BPlusTree(fanout=4)  # small fanout forces deep splits
+        model = {}
+        for k in ks:
+            tree.insert(k, k * 2)
+            model[k] = k * 2
+        assert len(tree) == len(model)
+        for k in ks:
+            assert tree.get(k) == model[k]
+        assert [k for k, _v in tree.items()] == sorted(model)
+
+    @given(small_key_lists, st.data())
+    @relaxed
+    def test_scan_matches_sorted_slice(self, ks, data):
+        tree = BPlusTree(fanout=4)
+        for k in ks:
+            tree.insert(k, k)
+        start = data.draw(keys)
+        count = data.draw(st.integers(min_value=1, max_value=20))
+        expect = sorted(k for k in ks if k >= start)[:count]
+        assert [k for k, _v in tree.scan_from(start, count)] == expect
+
+    @given(small_key_lists, st.data())
+    @relaxed
+    def test_remove_then_absent(self, ks, data):
+        tree = BPlusTree(fanout=4)
+        for k in ks:
+            tree.insert(k, k)
+        victim = data.draw(st.sampled_from(ks))
+        assert tree.remove(victim)
+        assert victim not in tree
+        assert len(tree) == len(ks) - 1
+
+
+class TestSwSkiplistProperties:
+    @given(small_key_lists)
+    @relaxed
+    def test_sorted_iteration(self, ks):
+        sl = SoftwareSkiplist(seed=9)
+        for k in ks:
+            sl.insert(k, k)
+        assert [k for k, _v in sl.items()] == sorted(ks)
+
+    @given(small_key_lists, st.data())
+    @relaxed
+    def test_get_after_mixed_ops(self, ks, data):
+        sl = SoftwareSkiplist(seed=9)
+        model = {}
+        for k in ks:
+            sl.put(k, k)
+            model[k] = k
+        to_remove = data.draw(st.lists(st.sampled_from(ks), max_size=10,
+                                       unique=True))
+        for k in to_remove:
+            sl.remove(k)
+            model.pop(k, None)
+        for k in ks:
+            assert sl.get(k) == model.get(k)
+
+
+class TestVisibilityProperties:
+    @given(st.integers(1, 1000), st.integers(1, 1000), st.integers(1, 1000))
+    @relaxed
+    def test_read_write_permission_rules(self, ts, read_ts, write_ts):
+        rec = TupleRecord(key=1, fields=["x"], read_ts=read_ts,
+                          write_ts=write_ts)
+        read_code = check_read(rec, ts, update_read_ts=False)
+        assert (read_code is ResultCode.OK) == (write_ts <= ts)
+        rec2 = TupleRecord(key=1, fields=["x"], read_ts=read_ts,
+                           write_ts=write_ts)
+        write_code = check_write(rec2, ts)
+        assert (write_code is ResultCode.OK) == (read_ts <= ts and write_ts <= ts)
+        if write_code is ResultCode.OK:
+            assert rec2.dirty
+
+    @given(st.lists(st.integers(1, 100), min_size=2, max_size=20))
+    @relaxed
+    def test_reader_timestamps_monotone(self, readers):
+        rec = TupleRecord(key=1, fields=["x"])
+        last = 0
+        for ts in readers:
+            if check_read(rec, ts) is ResultCode.OK:
+                assert rec.read_ts >= max(last, ts)
+                last = rec.read_ts
+
+
+class TestHardwareClockProperties:
+    @given(st.integers(1, 500))
+    @relaxed
+    def test_strictly_monotone(self, n):
+        clock = HardwareClock()
+        seen = [clock.next_ts() for _ in range(n)]
+        assert seen == sorted(set(seen))
+
+    @given(st.integers(1, 100), st.integers(1, 1000))
+    @relaxed
+    def test_reinitialize_never_goes_back(self, n, target):
+        clock = HardwareClock()
+        for _ in range(n):
+            clock.next_ts()
+        before = clock.current
+        clock.reinitialize(target)
+        assert clock.next_ts() > max(before, target)
+
+
+class TestPipelineProperties:
+    @given(st.lists(keys, min_size=1, max_size=25, unique=True))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hash_pipeline_inserts_equal_dict(self, ks):
+        env = SimEnv()
+        pipe = HashIndexPipeline(env.engine, env.clock, env.dram, "h",
+                                 n_buckets=64)
+        reqs = []
+        for i, k in enumerate(ks):
+            r = DbRequest(op=Opcode.INSERT, table_id=0, ts=1, txn_id=i,
+                          key_value=k)
+            r.insert_payload = [k]
+            reqs.append(r)
+        results = collect_results(reqs)
+        for r in reqs:
+            pipe.submit(r)
+        env.run()
+        assert all(res.code is ResultCode.OK for _r, res in results)
+        for k in ks:
+            assert pipe.lookup_direct(k).fields == [k]
+
+    @given(st.lists(keys, min_size=1, max_size=25, unique=True))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_skiplist_pipeline_invariants_hold(self, ks):
+        env = SimEnv()
+        pipe = SkiplistPipeline(env.engine, env.clock, env.dram, "sl")
+        reqs = []
+        for i, k in enumerate(ks):
+            r = DbRequest(op=Opcode.INSERT, table_id=0, ts=1, txn_id=i,
+                          key_value=k)
+            r.insert_payload = [k]
+            reqs.append(r)
+        collect_results(reqs)
+        for r in reqs:
+            pipe.submit(r)
+        env.run()
+        pipe.invariant_check()
+        assert [k for k, _f in pipe.items_direct()] == sorted(ks)

@@ -1,0 +1,132 @@
+"""Property-based tests for DES primitives and the assembler."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    BlockRef, Cp, FieldRef, Gp, Imm, Instruction, Opcode, Program,
+    assemble_one, disassemble,
+)
+from repro.sim import Engine, Fifo, TokenPool
+
+relaxed = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestFifoProperties:
+    @given(st.lists(st.integers(), max_size=60),
+           st.integers(min_value=1, max_value=5))
+    @relaxed
+    def test_order_preserved_under_capacity(self, items, capacity):
+        eng = Engine()
+        q = Fifo(eng, capacity=capacity)
+        got = []
+
+        def producer():
+            for item in items:
+                yield q.put(item)
+
+        def consumer():
+            for _ in items:
+                got.append((yield q.get()))
+                yield 1  # let the producer refill
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert got == items
+
+    @given(st.lists(st.integers(), min_size=1, max_size=40))
+    @relaxed
+    def test_interleaved_try_ops_conserve_items(self, items):
+        eng = Engine()
+        q = Fifo(eng)
+        for item in items:
+            assert q.try_put(item)
+        out = []
+        while True:
+            ok, item = q.try_get()
+            if not ok:
+                break
+            out.append(item)
+        assert out == items
+
+
+class TestTokenPoolProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=40))
+    @relaxed
+    def test_never_exceeds_capacity(self, tokens, n_workers):
+        eng = Engine()
+        pool = TokenPool(eng, tokens)
+        max_seen = [0]
+
+        def worker():
+            yield pool.acquire()
+            max_seen[0] = max(max_seen[0], pool.in_use)
+            yield 5
+            pool.release()
+
+        for _ in range(n_workers):
+            eng.process(worker())
+        eng.run()
+        assert max_seen[0] <= tokens
+        assert pool.available == tokens  # all returned
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=6))
+    @relaxed
+    def test_resize_preserves_accounting(self, before, after):
+        eng = Engine()
+        pool = TokenPool(eng, before)
+        holders = min(before, 3)
+        for _ in range(holders):
+
+            def holder():
+                yield pool.acquire()
+                yield 1000
+
+            eng.process(holder())
+        eng.run(until=10)
+        pool.resize(after)
+        assert pool.capacity == after
+        assert pool.in_use == holders  # holders unchanged by resize
+
+
+def _random_instruction(draw):
+    op = draw(st.sampled_from([Opcode.SEARCH, Opcode.UPDATE, Opcode.REMOVE]))
+    return Instruction(op, cp=Cp(draw(st.integers(0, 255))),
+                       table=draw(st.integers(0, 9)),
+                       key=BlockRef(draw(st.integers(0, 63))))
+
+
+class TestAssemblerRoundTrip:
+    @given(st.data())
+    @relaxed
+    def test_db_instruction_roundtrip(self, data):
+        prog = Program("p")
+        n = data.draw(st.integers(1, 10))
+        for _ in range(n):
+            prog.logic.append(_random_instruction(data.draw))
+        prog.finalize()
+        text = disassemble(prog)
+        prog2 = assemble_one(text)
+        assert len(prog2.logic) == n
+        for a, b in zip(prog.logic, prog2.logic):
+            assert a.opcode == b.opcode
+            assert a.cp == b.cp and a.table == b.table and a.key == b.key
+
+    @given(st.lists(st.sampled_from(["add", "sub", "mul"]), min_size=1,
+                    max_size=12),
+           st.integers(0, 50), st.integers(0, 50))
+    @relaxed
+    def test_arithmetic_roundtrip(self, ops, a, b):
+        from repro.isa import ProcedureBuilder
+        builder = ProcedureBuilder("p")
+        for i, op in enumerate(ops):
+            getattr(builder, op)(i % 200, Gp(a % 200), b)
+        prog = builder.build()
+        prog2 = assemble_one(disassemble(prog))
+        assert [i.opcode for i in prog2.logic] == [i.opcode for i in prog.logic]
+        for x, y in zip(prog.logic, prog2.logic):
+            assert x.dst == y.dst and x.a == y.a and x.b == y.b

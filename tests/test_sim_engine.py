@@ -1,0 +1,266 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Engine, Event, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    fired = []
+
+    def proc():
+        yield 10
+        fired.append(eng.now)
+        yield 5.5
+        fired.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert fired == [10, 15.5]
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+
+    def waiter(delay, tag):
+        yield delay
+        order.append(tag)
+
+    eng.process(waiter(30, "c"))
+    eng.process(waiter(10, "a"))
+    eng.process(waiter(20, "b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo_order():
+    eng = Engine()
+    order = []
+
+    def waiter(tag):
+        yield 5
+        order.append(tag)
+
+    for tag in ("x", "y", "z"):
+        eng.process(waiter(tag))
+    eng.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_process_return_value_propagates():
+    eng = Engine()
+    results = []
+
+    def child():
+        yield 3
+        return 42
+
+    def parent():
+        value = yield eng.process(child())
+        results.append(value)
+
+    eng.process(parent())
+    eng.run()
+    assert results == [42]
+
+
+def test_process_exception_propagates_to_waiter():
+    eng = Engine()
+    caught = []
+
+    def child():
+        yield 1
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield eng.process(child())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    eng.process(parent())
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_event_succeed_delivers_value():
+    eng = Engine()
+    ev = eng.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    def trigger():
+        yield 7
+        ev.succeed("hello")
+
+    eng.process(waiter())
+    eng.process(trigger())
+    eng.run()
+    assert got == ["hello"]
+    assert eng.now == 7
+
+
+def test_event_double_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    eng.process(waiter())
+    eng.call_after(2, lambda: ev.fail(RuntimeError("bad")))
+    eng.run()
+    assert caught == ["bad"]
+
+
+def test_all_of_waits_for_every_event():
+    eng = Engine()
+    results = []
+
+    def proc():
+        values = yield eng.all_of([eng.timeout(5, "a"), eng.timeout(9, "b"),
+                                   eng.timeout(2, "c")])
+        results.append((eng.now, values))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(9, ["a", "b", "c"])]
+
+
+def test_all_of_empty_fires_immediately():
+    eng = Engine()
+    results = []
+
+    def proc():
+        values = yield eng.all_of([])
+        results.append(values)
+
+    eng.process(proc())
+    eng.run()
+    assert results == [[]]
+
+
+def test_any_of_fires_on_first():
+    eng = Engine()
+    results = []
+
+    def proc():
+        event, value = yield eng.any_of([eng.timeout(5, "slow"), eng.timeout(2, "fast")])
+        results.append((eng.now, value))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(2, "fast")]
+
+
+def test_run_until_limit_stops_early():
+    eng = Engine()
+    seen = []
+
+    def proc():
+        while True:
+            yield 10
+            seen.append(eng.now)
+
+    eng.process(proc())
+    eng.run(until=35)
+    assert seen == [10, 20, 30]
+    assert eng.now == 35
+
+
+def test_run_until_done_detects_deadlock():
+    eng = Engine()
+    never = eng.event()
+
+    def proc():
+        yield never
+
+    done = eng.process(proc())
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run_until_done(done)
+
+
+def test_interrupt_wakes_sleeping_process():
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield 1000
+        except Interrupt as intr:
+            log.append(("interrupted", eng.now, intr.cause))
+
+    proc = eng.process(sleeper())
+    eng.call_after(4, lambda: proc.interrupt("wakeup"))
+    eng.run()
+    assert log == [("interrupted", 4, "wakeup")]
+
+
+def test_call_at_in_past_raises():
+    eng = Engine()
+
+    def proc():
+        yield 10
+
+    eng.process(proc())
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(5, lambda: None)
+
+
+def test_yield_bad_value_fails_process():
+    eng = Engine()
+
+    def proc():
+        yield "not an event"
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.triggered
+    with pytest.raises(SimulationError):
+        _ = p.value
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1)
+
+
+def test_nested_processes_compose():
+    eng = Engine()
+    trace = []
+
+    def leaf(n):
+        yield n
+        return n * 2
+
+    def mid():
+        a = yield eng.process(leaf(3))
+        b = yield eng.process(leaf(4))
+        return a + b
+
+    def root():
+        total = yield eng.process(mid())
+        trace.append((eng.now, total))
+
+    eng.process(root())
+    eng.run()
+    assert trace == [(7, 14)]

@@ -1,0 +1,244 @@
+"""Unit tests for FIFOs, token pools, gates and mutexes."""
+
+import pytest
+
+from repro.sim import Engine, Fifo, Gate, Mutex, SimulationError, TokenPool
+
+
+def drive(eng):
+    eng.run()
+
+
+class TestFifo:
+    def test_put_then_get(self):
+        eng = Engine()
+        q = Fifo(eng)
+        got = []
+
+        def producer():
+            yield q.put("a")
+            yield q.put("b")
+
+        def consumer():
+            yield 5
+            got.append((yield q.get()))
+            got.append((yield q.get()))
+
+        eng.process(producer())
+        eng.process(consumer())
+        drive(eng)
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        q = Fifo(eng)
+        got = []
+
+        def consumer():
+            item = yield q.get()
+            got.append((eng.now, item))
+
+        def producer():
+            yield 9
+            yield q.put("late")
+
+        eng.process(consumer())
+        eng.process(producer())
+        drive(eng)
+        assert got == [(9, "late")]
+
+    def test_capacity_blocks_putter(self):
+        eng = Engine()
+        q = Fifo(eng, capacity=1)
+        times = []
+
+        def producer():
+            yield q.put(1)
+            times.append(eng.now)
+            yield q.put(2)  # blocks until consumer frees a slot
+            times.append(eng.now)
+
+        def consumer():
+            yield 20
+            yield q.get()
+
+        eng.process(producer())
+        eng.process(consumer())
+        drive(eng)
+        assert times[0] == 0
+        assert times[1] == 20
+
+    def test_fifo_ordering_across_many_items(self):
+        eng = Engine()
+        q = Fifo(eng)
+        got = []
+
+        def producer():
+            for i in range(50):
+                yield q.put(i)
+                yield 1
+
+        def consumer():
+            for _ in range(50):
+                got.append((yield q.get()))
+
+        eng.process(producer())
+        eng.process(consumer())
+        drive(eng)
+        assert got == list(range(50))
+
+    def test_try_put_and_try_get(self):
+        eng = Engine()
+        q = Fifo(eng, capacity=1)
+        assert q.try_put("x") is True
+        assert q.try_put("y") is False
+        ok, item = q.try_get()
+        assert ok and item == "x"
+        ok, _item = q.try_get()
+        assert not ok
+
+    def test_max_depth_tracked(self):
+        eng = Engine()
+        q = Fifo(eng)
+
+        def producer():
+            for i in range(4):
+                yield q.put(i)
+
+        eng.process(producer())
+        drive(eng)
+        assert q.max_depth == 4
+        assert q.total_put == 4
+
+    def test_bad_capacity_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            Fifo(eng, capacity=0)
+
+
+class TestTokenPool:
+    def test_acquire_release_cycle(self):
+        eng = Engine()
+        pool = TokenPool(eng, tokens=2)
+        order = []
+
+        def worker(tag, hold):
+            yield pool.acquire()
+            order.append((f"{tag}+", eng.now))
+            yield hold
+            pool.release()
+            order.append((f"{tag}-", eng.now))
+
+        eng.process(worker("a", 10))
+        eng.process(worker("b", 10))
+        eng.process(worker("c", 10))
+        drive(eng)
+        # c can only start when a releases at t=10
+        assert ("a+", 0) in order and ("b+", 0) in order
+        assert ("c+", 10) in order
+
+    def test_over_release_raises(self):
+        eng = Engine()
+        pool = TokenPool(eng, tokens=1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_resize_grows_and_admits_waiters(self):
+        eng = Engine()
+        pool = TokenPool(eng, tokens=1)
+        starts = []
+
+        def worker(tag):
+            yield pool.acquire()
+            starts.append((tag, eng.now))
+
+        eng.process(worker("a"))
+        eng.process(worker("b"))
+        eng.call_after(5, lambda: pool.resize(2))
+        drive(eng)
+        assert ("a", 0) in starts
+        assert ("b", 5) in starts
+
+    def test_in_use_accounting(self):
+        eng = Engine()
+        pool = TokenPool(eng, tokens=3)
+
+        def worker():
+            yield pool.acquire()
+            yield 100
+
+        eng.process(worker())
+        eng.process(worker())
+        eng.run(until=50)
+        assert pool.in_use == 2
+        assert pool.available == 1
+
+
+class TestGate:
+    def test_wait_until_open(self):
+        eng = Engine()
+        gate = Gate(eng)
+        passed = []
+
+        def waiter():
+            yield gate.wait()
+            passed.append(eng.now)
+
+        eng.process(waiter())
+        eng.call_after(12, gate.open)
+        drive(eng)
+        assert passed == [12]
+
+    def test_open_gate_passes_immediately(self):
+        eng = Engine()
+        gate = Gate(eng, open_=True)
+        passed = []
+
+        def waiter():
+            yield gate.wait()
+            passed.append(eng.now)
+
+        eng.process(waiter())
+        drive(eng)
+        assert passed == [0]
+
+    def test_close_reblocks(self):
+        eng = Engine()
+        gate = Gate(eng, open_=True)
+        gate.close()
+        passed = []
+
+        def waiter():
+            yield gate.wait()
+            passed.append(eng.now)
+
+        eng.process(waiter())
+        eng.call_after(3, gate.open)
+        drive(eng)
+        assert passed == [3]
+
+
+class TestMutex:
+    def test_mutual_exclusion(self):
+        eng = Engine()
+        m = Mutex(eng)
+        critical = []
+
+        def worker(tag):
+            yield m.acquire()
+            critical.append((tag, "in", eng.now))
+            yield 10
+            critical.append((tag, "out", eng.now))
+            m.release()
+
+        eng.process(worker("a"))
+        eng.process(worker("b"))
+        drive(eng)
+        assert critical == [("a", "in", 0), ("a", "out", 10),
+                            ("b", "in", 10), ("b", "out", 20)]
+
+    def test_release_unlocked_raises(self):
+        eng = Engine()
+        m = Mutex(eng)
+        with pytest.raises(SimulationError):
+            m.release()

@@ -1,0 +1,270 @@
+"""End-to-end tests: stored procedures through the whole machine."""
+
+import pytest
+
+from repro.core import BionicConfig, BionicDB
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import IndexKind, TableSchema, TxnStatus
+
+
+def range_partition(n_keys_per_part):
+    def fn(key, n_partitions):
+        return min(key // n_keys_per_part, n_partitions - 1)
+    return fn
+
+
+def make_db(n_workers=2, **cfg_kw) -> BionicDB:
+    db = BionicDB(BionicConfig(n_workers=n_workers, **cfg_kw))
+    db.define_table(TableSchema(0, "kv", index_kind=IndexKind.HASH,
+                                partition_fn=range_partition(1000)))
+    return db
+
+
+def read_proc(n_reads=1):
+    """SEARCH key at @i -> store the tuple address to the output buffer."""
+    b = ProcedureBuilder(f"read{n_reads}")
+    for i in range(n_reads):
+        b.search(cp=i, table=0, key=b.at(i))
+    b.commit_handler()
+    for i in range(n_reads):
+        b.ret(i, i)
+        b.store(Gp(i), b.at(8 + i))
+    b.commit()
+    return b.build()
+
+
+def update_proc():
+    """UPDATE the tuple at @0, write field 0 := @1, UNDO-logged."""
+    b = ProcedureBuilder("upd")
+    b.update(cp=0, table=0, key=b.at(0))
+    b.commit_handler()
+    b.ret(0, 0)
+    b.load(1, b.at(1))
+    b.wrfield(0, 0, Gp(1))
+    b.commit()
+    return b.build()
+
+
+def insert_proc():
+    b = ProcedureBuilder("ins")
+    b.insert(cp=0, table=0, key=b.at(0))  # cell holds (key, fields)
+    b.commit_handler()
+    b.ret(0, 0)
+    b.commit()
+    return b.build()
+
+
+class TestSingleTxn:
+    def test_read_commits_and_outputs_address(self):
+        db = make_db()
+        db.register_procedure(0, read_proc(1))
+        db.load(0, 7, ["seven"])
+        block = db.new_block(0, [7], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        addr = block.outputs()[0]
+        assert db.dram.direct_read(addr).fields == ["seven"]
+
+    def test_read_missing_key_aborts(self):
+        db = make_db()
+        db.register_procedure(0, read_proc(1))
+        block = db.new_block(0, [999], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.ABORTED
+        assert "NOT_FOUND" in block.header.abort_reason
+
+    def test_update_applies_in_place(self):
+        db = make_db()
+        db.register_procedure(1, update_proc())
+        db.load(0, 5, ["old"])
+        block = db.new_block(1, [5, "new"], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        rec = db.lookup(0, 5)
+        assert rec.fields == ["new"]
+        assert not rec.dirty
+        assert rec.write_ts == block.header.commit_ts
+
+    def test_insert_becomes_visible_after_commit(self):
+        db = make_db()
+        db.register_procedure(2, insert_proc())
+        block = db.new_block(2, [(123, ["fresh"])], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        rec = db.lookup(0, 123)
+        assert rec is not None and rec.fields == ["fresh"] and not rec.dirty
+
+    def test_multi_read_txn(self):
+        db = make_db()
+        db.register_procedure(0, read_proc(4))
+        for k in range(4):
+            db.load(0, k, [f"v{k}"])
+        block = db.new_block(0, [0, 1, 2, 3], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        for i, addr in enumerate(block.outputs()[:4]):
+            assert db.dram.direct_read(addr).fields == [f"v{i}"]
+
+
+class TestBatches:
+    def test_many_transactions_all_commit(self):
+        db = make_db()
+        db.register_procedure(0, read_proc(2))
+        for k in range(100):
+            db.load(0, k, [k])
+        blocks = [db.new_block(0, [k % 100, (k + 1) % 100], worker=0)
+                  for k in range(50)]
+        report = db.run_all(blocks)
+        assert report.committed == 50
+        assert report.aborted == 0
+        assert report.throughput_tps > 0
+
+    def test_interleaving_faster_than_serial(self):
+        def run(interleaving):
+            from repro.softcore import SoftcoreConfig
+            db = make_db(n_workers=1,
+                         softcore=SoftcoreConfig(interleaving=interleaving))
+            db.register_procedure(0, read_proc(1))
+            for k in range(64):
+                db.load(0, k, [k])
+            blocks = [db.new_block(0, [k % 64], worker=0) for k in range(64)]
+            return db.run_all(blocks)
+
+        serial = run(False)
+        inter = run(True)
+        assert inter.throughput_tps > serial.throughput_tps * 1.5
+
+    def test_two_workers_scale(self):
+        db = make_db(n_workers=2)
+        db.register_procedure(0, read_proc(1))
+        for k in range(2000):
+            db.load(0, k, [k])
+        # local transactions on each partition
+        blocks, homes = [], []
+        for k in range(60):
+            key = (k % 2) * 1000 + k % 500
+            blocks.append(db.new_block(0, [key]))
+            homes.append(k % 2)
+        report = db.run_all(blocks, workers=homes)
+        assert report.committed == 60
+
+
+class TestMultisite:
+    def test_remote_read_commits(self):
+        db = make_db(n_workers=2)
+        db.register_procedure(0, read_proc(1))
+        db.load(0, 1500, ["remote-row"])  # lives in partition 1
+        block = db.new_block(0, [1500], worker=0)  # submitted to worker 0
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        addr = block.outputs()[0]
+        assert db.dram.direct_read(addr).fields == ["remote-row"]
+        assert db.stats.counter("worker0.remote_db_instructions").value == 1
+        assert db.stats.counter("worker1.background_requests").value == 1
+
+    def test_remote_update_commits_and_applies(self):
+        db = make_db(n_workers=2)
+        db.register_procedure(1, update_proc())
+        db.load(0, 1800, ["before"])
+        block = db.new_block(1, [1800, "after"], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+        assert db.lookup(0, 1800).fields == ["after"]
+
+    def test_mixed_local_and_remote(self):
+        db = make_db(n_workers=2)
+        db.register_procedure(0, read_proc(2))
+        db.load(0, 10, ["local"])
+        db.load(0, 1010, ["remote"])
+        block = db.new_block(0, [10, 1010], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.COMMITTED
+
+
+class TestAbortPaths:
+    def test_update_conflict_aborts_and_rolls_back(self):
+        """Two same-batch updates of one tuple: the second hits the dirty
+        bit (blind rejection) and must roll back without damage."""
+        db = make_db(n_workers=1)
+        db.register_procedure(1, update_proc())
+        db.load(0, 5, ["orig"])
+        b1 = db.new_block(1, [5, "first"], worker=0)
+        b2 = db.new_block(1, [5, "second"], worker=0)
+        db.submit(b1)
+        db.submit(b2)
+        db.run()
+        statuses = {b1.header.status, b2.header.status}
+        assert TxnStatus.COMMITTED in statuses
+        rec = db.lookup(0, 5)
+        assert not rec.dirty
+        if b2.header.status is TxnStatus.ABORTED:
+            assert rec.fields == ["first"]
+        else:
+            # b2 ran after b1 committed within a later batch
+            assert rec.fields == ["second"]
+
+    def test_aborted_insert_is_invisible(self):
+        from repro.isa import Opcode, Instruction
+        db = make_db(n_workers=1)
+        b = ProcedureBuilder("ins-abort")
+        b.insert(cp=0, table=0, key=b.at(0))
+        b.ret(0, 0)
+        b.abort()  # voluntary abort after a successful insert
+        db.register_procedure(3, b.build())
+        block = db.new_block(3, [(321, ["ghost"])], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.ABORTED
+        assert db.lookup(0, 321) is None
+
+    def test_undo_restores_field_on_conflict(self):
+        """An update that later fails must restore the original value."""
+        db = make_db(n_workers=1)
+        b = ProcedureBuilder("upd-then-fail")
+        b.update(cp=0, table=0, key=b.at(0))
+        b.search(cp=1, table=0, key=b.at(2))  # missing key -> abort
+        b.commit_handler()
+        b.ret(0, 0)
+        b.load(1, b.at(1))
+        b.wrfield(0, 0, Gp(1))
+        b.ret(2, 1)
+        b.commit()
+        db.register_procedure(4, b.build())
+        db.load(0, 7, ["keep-me"])
+        block = db.new_block(4, [7, "clobbered", 999], worker=0)
+        db.submit(block)
+        db.run()
+        assert block.header.status is TxnStatus.ABORTED
+        rec = db.lookup(0, 7)
+        assert rec.fields == ["keep-me"]
+        assert not rec.dirty
+
+
+class TestReports:
+    def test_power_report_near_paper(self):
+        db = make_db(n_workers=4)
+        report = db.power_report()
+        assert 10.0 < report.total_w < 13.0  # paper: ~11.5 W
+
+    def test_resource_ledger_fits_device(self):
+        db = make_db(n_workers=4)
+        ledger = db.resource_ledger()
+        assert ledger.fits()
+        util = ledger.utilization()
+        assert 0.6 < util["lut"] < 0.8  # paper: ~70%
+
+    def test_in_flight_budget_distribution(self):
+        db = make_db(n_workers=4)
+        db.set_total_in_flight(6)
+        caps = [w.hash_pipe.tokens.capacity for w in db.workers]
+        assert sum(caps) == 6
+        with pytest.raises(ValueError):
+            db.set_total_in_flight(0)

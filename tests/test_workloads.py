@@ -1,0 +1,200 @@
+"""Tests for workload generators and their execution on BionicDB."""
+
+import pytest
+
+from repro.core import BionicConfig, BionicDB
+from repro.mem import TxnStatus
+from repro.softcore import SoftcoreConfig
+from repro.workloads import (
+    ScrambledZipfianGenerator, TpccConfig, TpccWorkload, UniformGenerator,
+    YcsbConfig, YcsbWorkload, ZipfianGenerator,
+)
+from repro.workloads.tpcc import schema as T
+from repro.workloads.ycsb import PROC_READ_BASE, PROC_SCAN
+
+
+class TestZipf:
+    def test_uniform_in_range(self):
+        gen = UniformGenerator(100, seed=1)
+        assert all(0 <= gen.next() < 100 for _ in range(500))
+
+    def test_zipfian_skews_to_low_ranks(self):
+        gen = ZipfianGenerator(10_000, seed=1)
+        draws = [gen.next() for _ in range(5000)]
+        assert all(0 <= d < 10_000 for d in draws)
+        head = sum(1 for d in draws if d < 100)
+        assert head > len(draws) * 0.3  # heavy head
+
+    def test_scrambled_spreads_popular_keys(self):
+        gen = ScrambledZipfianGenerator(10_000, seed=1)
+        draws = [gen.next() for _ in range(5000)]
+        head = sum(1 for d in draws if d < 100)
+        assert head < len(draws) * 0.1  # popularity no longer clustered low
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+class TestYcsbGenerator:
+    def test_local_reads_stay_in_partition(self):
+        w = YcsbWorkload(YcsbConfig(records_per_partition=1000))
+        for spec in w.make_read_txns(40):
+            for key in spec.keys:
+                assert key // 1000 == spec.home
+
+    def test_remote_fraction_crosses_partitions(self):
+        w = YcsbWorkload(YcsbConfig(records_per_partition=1000,
+                                    remote_fraction=0.75))
+        remote = local = 0
+        for spec in w.make_read_txns(50):
+            for key in spec.keys:
+                if key // 1000 == spec.home:
+                    local += 1
+                else:
+                    remote += 1
+        frac = remote / (remote + local)
+        assert 0.6 < frac < 0.9
+
+    def test_rmw_keys_distinct(self):
+        w = YcsbWorkload(YcsbConfig(records_per_partition=1000))
+        for spec in w.make_rmw_txns(10):
+            assert len(set(spec.keys)) == len(spec.keys)
+
+    def test_scan_start_leaves_room(self):
+        cfg = YcsbConfig(records_per_partition=1000, scan_length=50)
+        w = YcsbWorkload(cfg)
+        for spec in w.make_scan_txns(30):
+            start = spec.keys[0]
+            part = spec.home
+            assert part * 1000 <= start < (part + 1) * 1000 - 49
+
+
+class TestYcsbOnBionicDB:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        db = BionicDB(BionicConfig(n_workers=2))
+        w = YcsbWorkload(YcsbConfig(records_per_partition=2000,
+                                    n_partitions=2, reads_per_txn=4))
+        w.install(db, procedures={4})
+        return db, w
+
+    def test_reads_commit(self, loaded):
+        db, w = loaded
+        rep, blocks = w.submit_all(db, w.make_read_txns(20, reads_per_txn=4))
+        assert rep.committed == 20
+        for block in blocks:
+            for addr in block.outputs()[:4]:
+                assert db.dram.direct_read(addr) is not None
+
+    def test_rmw_applies_values(self, loaded):
+        db, w = loaded
+        specs = w.make_rmw_txns(6, ops_per_txn=4)
+        rep, _blocks = w.submit_all(db, specs)
+        assert rep.committed == 6
+        spec = specs[0]
+        for i, key in enumerate(spec.keys):
+            rec = db.lookup(0, key)
+            assert rec.fields == [spec.inputs[len(spec.keys) + i]]
+
+    def test_scan_returns_requested_length(self):
+        db = BionicDB(BionicConfig(n_workers=2))
+        w = YcsbWorkload(YcsbConfig(records_per_partition=500, n_partitions=2,
+                                    index_kind="skiplist", scan_length=10))
+        w.install(db)
+        rep, blocks = w.submit_all(db, w.make_scan_txns(8))
+        assert rep.committed == 8
+        for block in blocks:
+            assert block.outputs()[0] == 10
+
+
+class TestTpccGenerator:
+    def test_key_encodings_roundtrip(self):
+        assert T.district_key(3, 7) // 100 == 3
+        assert T.customer_key(4, 9, 123) // 10**7 == 4
+        assert T.stock_key(2, 99_999) // 10**6 == 2
+        okey = T.orders_key(3, 10, 9_999_999)
+        assert okey // 10**9 == 3
+        assert T.order_line_key(okey, 15) // 10**11 == 3
+        assert T.history_key(4, 10**12) // 10**13 == 4
+
+    def test_neworder_spec_shape(self):
+        w = TpccWorkload(TpccConfig(items=500, customers_per_district=50))
+        spec = w.make_neworder()
+        _w, d, c, K, items, supplies, qtys = spec.keys
+        assert 5 <= K <= 15
+        assert len(items) == len(set(items)) == K
+        assert len(spec.inputs) == 4 * K + 7
+        assert spec.inputs[4] == K
+
+    def test_payment_remote_fraction(self):
+        cfg = TpccConfig(items=100, customers_per_district=20,
+                         remote_payment_fraction=1.0)
+        w = TpccWorkload(cfg)
+        for _ in range(20):
+            spec = w.make_payment()
+            _w, _d, cw, _cd, _c, _a, _h = spec.keys
+            assert cw != _w
+
+    def test_history_keys_unique(self):
+        w = TpccWorkload(TpccConfig(items=100, customers_per_district=20))
+        keys = {w.make_payment().keys[6] for _ in range(50)}
+        assert len(keys) == 50
+
+    def test_mix_ratio(self):
+        w = TpccWorkload(TpccConfig(items=100, customers_per_district=20))
+        specs = w.make_mix(400, neworder_fraction=0.5)
+        n_no = sum(1 for s in specs if s.kind == "neworder")
+        assert 140 < n_no < 260
+
+
+class TestTpccOnBionicDB:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        db = BionicDB(BionicConfig(
+            n_workers=2, softcore=SoftcoreConfig(interleaving=False)))
+        w = TpccWorkload(TpccConfig(n_partitions=2, items=300,
+                                    customers_per_district=30))
+        w.install(db)
+        return db, w
+
+    def test_neworder_effects(self, loaded):
+        db, w = loaded
+        spec = w.make_neworder()
+        rep, blocks = w.submit_all(db, [spec])
+        assert rep.committed == 1
+        block = blocks[0]
+        total, okey = block.outputs()[0], block.outputs()[1]
+        wh, d, c, K, items, supplies, qtys = spec.keys
+        order = db.lookup(T.ORDERS, okey)
+        assert order.fields[0] == c and order.fields[1] == K
+        assert db.lookup(T.NEW_ORDER, okey) is not None
+        for i in range(K):
+            ol = db.lookup(T.ORDER_LINE, T.order_line_key(okey, i + 1))
+            assert ol.fields[0] == items[i]
+        # district next_o_id advanced
+        district = db.lookup(T.DISTRICT, T.district_key(wh, d))
+        assert district.fields[2] == okey - T.orders_base(wh, d) + 1
+        # stock decremented (mod the +91 wraparound)
+        price_total = sum(
+            db.lookup(T.ITEM, items[i]).fields[1] * qtys[i] for i in range(K))
+        assert total == price_total
+
+    def test_payment_effects(self, loaded):
+        db, w = loaded
+        spec = w.make_payment()
+        wh, d, cw, cd, c, amount, h_key = spec.keys
+        before_w = db.lookup(T.WAREHOUSE, T.warehouse_key(wh)).fields[2]
+        before_c = db.lookup(T.CUSTOMER, T.customer_key(cw, cd, c)).fields[1]
+        rep, _ = w.submit_all(db, [spec])
+        assert rep.committed == 1
+        assert db.lookup(T.WAREHOUSE, T.warehouse_key(wh)).fields[2] == before_w + amount
+        assert db.lookup(T.CUSTOMER, T.customer_key(cw, cd, c)).fields[1] == before_c - amount
+        assert db.lookup(T.HISTORY, h_key).fields[0] == amount
+
+    def test_mix_all_commit_with_retries(self, loaded):
+        db, w = loaded
+        rep, _ = w.submit_all(db, w.make_mix(30))
+        assert rep.committed == 30
