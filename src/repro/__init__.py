@@ -7,4 +7,16 @@ and a benchmark harness reproducing every table and figure in §5 of
 the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .errors import (  # noqa: E402  (re-export the error taxonomy)
+    BionicError, ConfigError, CorruptionError, ProcedureNotFoundError,
+    StuckTransactionError, SubmissionError, ValidationError,
+    VerificationError, WorkloadError,
+)
+
+__all__ = [
+    "BionicError", "ConfigError", "CorruptionError",
+    "ProcedureNotFoundError", "StuckTransactionError", "SubmissionError",
+    "ValidationError", "VerificationError", "WorkloadError",
+]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..comm.channels import CommLink, RequestPacket, ResponsePacket
+from ..errors import BionicError
 from ..isa.instructions import Opcode
 from ..sim.clock import ClockDomain
 from ..sim.engine import Engine
@@ -37,7 +38,7 @@ __all__ = ["ClusterError", "HierarchicalInterconnect"]
 _CROSS_NODE_OK = frozenset({Opcode.SEARCH})
 
 
-class ClusterError(RuntimeError):
+class ClusterError(BionicError, RuntimeError):
     """An operation that cannot cross shared-nothing node boundaries."""
 
 

@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..core.config import BionicConfig
 from ..core.system import RunReport
+from ..errors import SubmissionError
 from ..dora.worker import PartitionWorker
 from ..mem.schema import Catalog, IndexKind, TableSchema
 from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
@@ -50,7 +51,8 @@ class BionicCluster:
         self.stats = StatsRegistry()
         self.hw_clock = HardwareClock()
         self.schemas = Catalog()
-        self.catalogue = Catalogue(self.schemas)
+        self.catalogue = Catalogue(self.schemas,
+                                   n_registers=cfg.softcore.n_registers)
 
         node_of = [w // cfg.n_workers for w in range(self.total_workers)]
         self.interconnect = HierarchicalInterconnect(
@@ -91,8 +93,9 @@ class BionicCluster:
             worker.add_table(schema)
         return schema
 
-    def register_procedure(self, proc_id: int, program) -> None:
-        self.catalogue.register(proc_id, program)
+    def register_procedure(self, proc_id: int, program,
+                           verify: bool = True) -> None:
+        self.catalogue.register(proc_id, program, verify=verify)
 
     def load(self, table_id: int, key: Any, fields: Sequence[Any],
              partition: Optional[int] = None) -> None:
@@ -133,6 +136,10 @@ class BionicCluster:
     def submit(self, block: TransactionBlock,
                worker: Optional[int] = None) -> None:
         w = worker if worker is not None else block.home_worker
+        if not 0 <= w < self.total_workers:
+            raise SubmissionError("submit worker out of range",
+                                  worker=w, total_workers=self.total_workers)
+        self.catalogue.lookup(block.proc_id)  # raises if unregistered
         self.workers[w].softcore.submit(block)
 
     def _on_txn_done(self, _block) -> None:

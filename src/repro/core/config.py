@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..errors import ConfigError
 from ..index.hash.pipeline import HashTimings
 from ..index.skiplist.pipeline import SkiplistTimings
 from ..mem.txnblock import BlockLayout
@@ -88,13 +89,35 @@ class BionicConfig:
 
     def __post_init__(self):
         if self.n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
+            raise ConfigError("n_workers must be >= 1",
+                              n_workers=self.n_workers)
         if self.fpga_mhz <= 0:
-            raise ValueError("fpga_mhz must be positive")
+            raise ConfigError("fpga_mhz must be positive",
+                              fpga_mhz=self.fpga_mhz)
         if self.comm_topology not in ("crossbar", "ring"):
-            raise ValueError(f"unknown topology {self.comm_topology!r}")
+            raise ConfigError(f"unknown topology {self.comm_topology!r}")
         if self.device not in ("virtex5", "ultrascale_plus"):
-            raise ValueError(f"unknown device {self.device!r}")
+            raise ConfigError(f"unknown device {self.device!r}")
+        for name, minimum in (
+            ("dram_latency_cycles", 0.0), ("dram_channels", 1),
+            ("hash_traverse_stages", 1), ("hash_read_issue_interval", 0.0),
+            ("hash_write_issue_interval", 0.0), ("hash_buckets_default", 1),
+            ("skiplist_stages", 1), ("skiplist_scanners", 1),
+            ("skiplist_max_height", 1), ("skiplist_read_issue_interval", 0.0),
+            ("skiplist_write_issue_interval", 0.0),
+            ("max_in_flight", 1), ("comm_hop_cycles", 0.0),
+            ("ring_hop_cycles", 0.0),
+        ):
+            value = getattr(self, name)
+            if value < minimum:
+                raise ConfigError(f"{name} must be >= {minimum}",
+                                  **{name: value})
+        if self.softcore.n_registers < 1:
+            raise ConfigError("softcore.n_registers must be >= 1",
+                              n_registers=self.softcore.n_registers)
+        if self.block_layout.n_inputs < 1:
+            raise ConfigError("block_layout.n_inputs must be >= 1",
+                              n_inputs=self.block_layout.n_inputs)
 
     def with_(self, **changes) -> "BionicConfig":
         """A modified copy (dataclasses.replace convenience)."""

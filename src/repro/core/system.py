@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..comm.channels import Crossbar
 from ..dora.worker import PartitionWorker
+from ..errors import StuckTransactionError, SubmissionError
 from ..isa.instructions import Program
 from ..mem.schema import Catalog, IndexKind, TableSchema
 from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
@@ -98,7 +99,8 @@ class BionicDB:
                               channels=cfg.dram_channels, stats=self.stats)
         self.hw_clock = HardwareClock()
         self.schemas = Catalog()
-        self.catalogue = Catalogue(self.schemas)
+        self.catalogue = Catalogue(self.schemas,
+                                   n_registers=cfg.softcore.n_registers)
         from ..sim.trace import NULL_TRACER
         self.tracer = cfg.tracer if cfg.tracer is not None else NULL_TRACER
         self.tracer.bind_clock(self.clock)
@@ -126,18 +128,33 @@ class BionicDB:
             for w in range(cfg.n_workers)
         ]
         self._txn_counter = 0
+        #: txn_id -> block, from submit() until the done callback; used
+        #: to detect transactions silently stranded by a drained engine
+        self._inflight: Dict[int, TransactionBlock] = {}
+        #: proc ids whose table references were validated against the
+        #: current schema catalog (reset when a table is defined)
+        self._table_checked: set = set()
 
     # -- schema & procedures ------------------------------------------------
     def define_table(self, schema: TableSchema) -> TableSchema:
         self.schemas.add(schema)
+        self._table_checked.clear()
         for worker in self.workers:
             worker.add_table(schema)
         return schema
 
-    def register_procedure(self, proc_id: int, program: Program) -> None:
+    def register_procedure(self, proc_id: int, program: Program,
+                           verify: bool = True) -> None:
         """Upload a pre-compiled stored procedure to every worker's
-        catalogue (no FPGA reconfiguration required, §4.3)."""
-        self.catalogue.register(proc_id, program)
+        catalogue (no FPGA reconfiguration required, §4.3).
+
+        The program is statically verified first (deadlocking RETs,
+        unreachable COMMIT, register pressure, …); pass ``verify=False``
+        to install a known-defective program, e.g. to demonstrate the
+        runtime failure modes the verifier exists to prevent.
+        """
+        self.catalogue.register(proc_id, program, verify=verify)
+        self._table_checked.discard(proc_id)
 
     # -- loading -------------------------------------------------------------
     def load(self, table_id: int, key: Any, fields: Sequence[Any],
@@ -149,6 +166,10 @@ class BionicDB:
         explicit ``partition``).
         """
         schema = self.schemas.table(table_id)
+        if partition is not None and not 0 <= partition < self.config.n_workers:
+            raise SubmissionError("load partition out of range",
+                                  partition=partition,
+                                  n_workers=self.config.n_workers)
         if schema.replicated:
             targets: Iterable[int] = range(self.config.n_workers)
         elif partition is not None:
@@ -168,6 +189,10 @@ class BionicDB:
                   layout: Optional[BlockLayout] = None,
                   worker: Optional[int] = None) -> TransactionBlock:
         """Allocate a transaction block in DRAM and fill its inputs."""
+        if worker is not None and not 0 <= worker < self.config.n_workers:
+            raise SubmissionError("home worker out of range",
+                                  worker=worker,
+                                  n_workers=self.config.n_workers)
         self._txn_counter += 1
         layout = layout or self.config.block_layout
         if len(inputs) > layout.n_inputs:
@@ -185,32 +210,77 @@ class BionicDB:
     def submit(self, block: TransactionBlock,
                worker: Optional[int] = None) -> None:
         w = worker if worker is not None else getattr(block, "home_worker", 0)
+        if not 0 <= w < self.config.n_workers:
+            raise SubmissionError("submit worker out of range",
+                                  worker=w, n_workers=self.config.n_workers)
+        entry = self.catalogue.lookup(block.proc_id)  # raises if unknown
+        self._check_tables(block.proc_id, entry)
         block.submitted_at_ns = self.engine.now
+        self._inflight[block.txn_id] = block
         self.workers[w].softcore.submit(block)
+
+    def _check_tables(self, proc_id: int, entry) -> None:
+        """Admission check: every table the procedure touches must be
+        defined, or its DB instructions would kill the softcore
+        mid-simulation with a bare SchemaError."""
+        if proc_id in self._table_checked:
+            return
+        missing = sorted(
+            t for t in entry.tables_used
+            if t not in {s.table_id for s in self.schemas})
+        if missing:
+            raise SubmissionError(
+                "procedure references undefined tables",
+                proc_id=proc_id, missing_tables=missing)
+        self._table_checked.add(proc_id)
 
     def _on_txn_done(self, block: TransactionBlock) -> None:
         self._done_count += 1
         block.done_at_ns = self.engine.now
+        self._inflight.pop(block.txn_id, None)
 
     # -- running -----------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> float:
-        """Advance the simulation until idle (or ``until`` ns)."""
-        now = self.engine.run(until=until)
-        self._check_health()
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Advance the simulation until idle (or ``until`` ns).
+
+        ``max_events`` bounds the number of fired events — a watchdog
+        against runaway procedures (e.g. an unconditional branch loop)
+        that would otherwise spin the host forever.
+        """
+        now = self.engine.run(until=until, max_events=max_events)
+        self._check_health(drained=not self.engine._heap)
         return now
 
-    def _check_health(self) -> None:
-        """Re-raise any exception that killed a worker's softcore —
-        silent worker death must never masquerade as a quiet run."""
+    def _check_health(self, drained: bool = False) -> None:
+        """Re-raise any exception that killed a worker's softcore, and
+        — once the event heap has drained — flag transactions that were
+        submitted but never finished.  Silent worker death or a
+        silently-stranded transaction must never masquerade as a quiet
+        run."""
         for worker in self.workers:
             proc = worker.softcore._proc
             if proc.triggered:
                 _ = proc.value  # raises the stored exception if it failed
+        if drained and self._inflight:
+            stuck = {txn_id: block.header.status.value
+                     for txn_id, block in sorted(self._inflight.items())}
+            raise StuckTransactionError(
+                f"{len(stuck)} transaction(s) still live after the event "
+                f"heap drained — a procedure is waiting on a result that "
+                f"can never arrive", stuck=stuck)
+
+    def pending_blocks(self) -> List[TransactionBlock]:
+        """Blocks submitted but not yet finished (diagnostics)."""
+        return list(self._inflight.values())
 
     def run_all(self, blocks: Sequence[TransactionBlock],
                 workers: Optional[Sequence[int]] = None) -> RunReport:
         """Submit ``blocks`` (optionally with explicit home workers), run
         to completion and summarise."""
+        if workers is not None and len(workers) != len(blocks):
+            raise SubmissionError("workers list does not match blocks",
+                                  n_blocks=len(blocks), n_workers=len(workers))
         start_committed = self._committed_total()
         start_aborted = self._aborted_total()
         start_ns = self.engine.now
@@ -236,10 +306,17 @@ class BionicDB:
         one commits (the usual client policy under timestamp-ordering
         CC, whose blind dirty rejection makes aborts routine on
         contended workloads such as TPC-C's warehouse row)."""
+        if workers is not None and len(workers) != len(blocks):
+            raise SubmissionError("workers list does not match blocks",
+                                  n_blocks=len(blocks), n_workers=len(workers))
+        if max_rounds < 1:
+            raise SubmissionError("max_rounds must be >= 1",
+                                  max_rounds=max_rounds)
         homes = (list(workers) if workers is not None
                  else [getattr(b, "home_worker", 0) for b in blocks])
         start_ns = self.engine.now
         total_aborts = 0
+        last_reasons: List[str] = []
         pending = list(zip(blocks, homes))
         for _round in range(max_rounds):
             for block, home in pending:
@@ -250,13 +327,17 @@ class BionicDB:
             total_aborts += len(failed)
             if not failed:
                 break
+            last_reasons = sorted({b.header.abort_reason or "?"
+                                   for b, _h in failed})
             for block, _home in failed:
                 block.reset_for_replay()
             pending = failed
         else:
-            raise RuntimeError(
+            raise StuckTransactionError(
                 f"{len(pending)} transactions failed to commit after "
-                f"{max_rounds} retry rounds")
+                f"{max_rounds} retry rounds",
+                txn_ids=[b.txn_id for b, _h in pending][:16],
+                abort_reasons=last_reasons[:8])
         latencies = [b.done_at_ns - b.submitted_at_ns for b in blocks
                      if getattr(b, "done_at_ns", None) is not None]
         return RunReport(submitted=len(blocks), committed=len(blocks),
@@ -322,6 +403,10 @@ class BionicDB:
                partition: Optional[int] = None):
         """Timing-free read of a committed-or-not row (host debugging)."""
         schema = self.schemas.table(table_id)
+        if partition is not None and not 0 <= partition < self.config.n_workers:
+            raise SubmissionError("lookup partition out of range",
+                                  partition=partition,
+                                  n_workers=self.config.n_workers)
         w = partition if partition is not None else (
             0 if schema.replicated else schema.route(key, self.config.n_workers))
         worker = self.workers[w]

@@ -1,0 +1,97 @@
+"""The BionicDB error taxonomy.
+
+Every exception the library raises deliberately derives from
+:class:`BionicError`, so callers can catch one root instead of a grab
+bag of ``ValueError``/``RuntimeError``/``KeyError``.  Each domain error
+*also* keeps its historical stdlib base (``SchemaError`` is still a
+``ValueError``, ``SimulationError`` still a ``RuntimeError``, …) so
+existing ``except`` clauses keep working.
+
+The hierarchy::
+
+    BionicError
+    ├── ConfigError            bad BionicConfig / SoftcoreConfig knobs
+    ├── ValidationError        rejected at a host API boundary
+    │   ├── SubmissionError    bad submit()/new_block()/load() arguments
+    │   └── ProcedureNotFoundError   (also a KeyError)
+    ├── VerificationError      static ISA program verification failed
+    ├── WorkloadError          bad workload generator parameters
+    ├── CorruptionError        durable artifact failed its integrity check
+    ├── StuckTransactionError  simulation drained with live transactions
+    └── (rebased domain errors: IsaError, SchemaError, SimulationError,
+         ExecutionError, RecoveryError, ClusterError)
+
+Errors carry an optional structured ``details`` dict (keyword arguments
+to the constructor) that is appended to the message and kept
+machine-readable on the instance — useful for tests and for operators
+triaging a rejected batch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BionicError",
+    "ConfigError",
+    "ValidationError",
+    "SubmissionError",
+    "ProcedureNotFoundError",
+    "VerificationError",
+    "WorkloadError",
+    "CorruptionError",
+    "StuckTransactionError",
+]
+
+
+class BionicError(Exception):
+    """Root of every deliberate BionicDB error.
+
+    ``details`` keyword arguments are stored on the instance and
+    rendered into the message::
+
+        raise SubmissionError("worker out of range", worker=9, n_workers=4)
+    """
+
+    def __init__(self, message: str = "", **details):
+        self.details = details
+        if details:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in details.items())
+            message = f"{message} [{rendered}]" if message else f"[{rendered}]"
+        super().__init__(message)
+
+
+class ConfigError(BionicError, ValueError):
+    """A configuration object failed validation."""
+
+
+class ValidationError(BionicError, ValueError):
+    """An operation was rejected at a host API boundary."""
+
+
+class SubmissionError(ValidationError):
+    """A transaction block (or load/lookup) was rejected at admission."""
+
+
+class ProcedureNotFoundError(ValidationError, KeyError):
+    """No stored procedure is registered under the requested id."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return BionicError.__str__(self)
+
+
+class VerificationError(BionicError, ValueError):
+    """Static verification of an ISA program found fatal defects."""
+
+
+class WorkloadError(BionicError, ValueError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class CorruptionError(BionicError, RuntimeError):
+    """A durable artifact (command log, checkpoint) failed its
+    integrity check — truncated, bit-flipped, or structurally bogus."""
+
+
+class StuckTransactionError(BionicError, RuntimeError):
+    """The event heap drained while submitted transactions were still
+    live — a silent hang (e.g. a RET on a CP register no DB instruction
+    ever writes) that must not masquerade as a quiet run."""

@@ -29,9 +29,14 @@ class DurableClient:
         block = self.db.new_block(proc_id, list(inputs), layout=layout,
                                   worker=worker)
         self.log.append_pending(block)
-        self.db.submit(block, worker)
-        self.db.run()
-        self.log.finalize(block)
+        try:
+            self.db.submit(block, worker)
+            self.db.run()
+        finally:
+            # even if the run blew up, record what we know: a block that
+            # never reached COMMITTED stays replay-ignored, while its
+            # input survives for post-mortem (§4.8 crash semantics)
+            self.log.finalize(block)
         return block
 
     def execute_batch(self, requests: Sequence[tuple]) -> List[TransactionBlock]:
@@ -43,11 +48,13 @@ class DurableClient:
                                       worker=worker)
             self.log.append_pending(block)
             blocks.append((block, worker))
-        for block, worker in blocks:
-            self.db.submit(block, worker)
-        self.db.run()
-        for block, _worker in blocks:
-            self.log.finalize(block)
+        try:
+            for block, worker in blocks:
+                self.db.submit(block, worker)
+            self.db.run()
+        finally:
+            for block, _worker in blocks:
+                self.log.finalize(block)
         return [b for b, _w in blocks]
 
     @property

@@ -16,9 +16,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, List, Optional, Sequence
 
+from ..errors import CorruptionError
 from ..mem.txnblock import TransactionBlock, TxnStatus
+from .durable import read_frames, write_frames
 
 __all__ = ["LogRecord", "CommandLog"]
+
+#: magic for the framed on-disk command-log format
+LOG_MAGIC = b"BDBL"
+
+_VALID_STATUSES = frozenset(s.value for s in TxnStatus)
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,8 @@ class CommandLog:
     def __init__(self) -> None:
         self._records: List[LogRecord] = []
         self._index: dict = {}
+        #: True when a non-strict load salvaged a damaged tail
+        self.truncated: bool = False
 
     def __len__(self) -> int:
         return len(self._records)
@@ -108,13 +117,64 @@ class CommandLog:
 
     # -- durability ------------------------------------------------------
     def save(self, path) -> None:
-        with open(Path(path), "wb") as f:
-            pickle.dump(self._records, f)
+        """Persist atomically as a framed, per-record-checksummed file.
+
+        A crash during save leaves the previous file intact; a crash
+        that truncates the new file is detectable (and salvageable) at
+        load time.
+        """
+        write_frames(path, LOG_MAGIC, list(self._records))
 
     @classmethod
-    def load(cls, path) -> "CommandLog":
+    def load(cls, path, strict: bool = True) -> "CommandLog":
+        """Load a saved log, verifying per-record checksums.
+
+        ``strict=True`` raises :class:`CorruptionError` on any damage.
+        ``strict=False`` salvages the intact prefix of a truncated or
+        tail-corrupted log (the right recovery posture after losing
+        power mid-append) and marks the instance ``truncated``.
+        Legacy whole-file-pickle logs (pre-framing) are still readable.
+        """
+        try:
+            records, intact = read_frames(path, LOG_MAGIC, strict=strict)
+        except CorruptionError as exc:
+            if exc.details.get("expected") == LOG_MAGIC:
+                legacy = cls._load_legacy(path)
+                if legacy is not None:
+                    records, intact = legacy, True
+                else:
+                    raise
+            else:
+                raise
         log = cls()
-        with open(Path(path), "rb") as f:
-            log._records = pickle.load(f)
-        log._index = {r.txn_id: i for i, r in enumerate(log._records)}
+        log.truncated = not intact
+        for i, record in enumerate(records):
+            cls._validate_record(record, i, path)
+            log._index[record.txn_id] = len(log._records)
+            log._records.append(record)
         return log
+
+    @staticmethod
+    def _load_legacy(path) -> Optional[List["LogRecord"]]:
+        """Best-effort read of the pre-framing format (one pickled list)."""
+        try:
+            with open(Path(path), "rb") as f:
+                records = pickle.load(f)
+        except Exception:
+            return None
+        return records if isinstance(records, list) else None
+
+    @staticmethod
+    def _validate_record(record, index: int, path) -> None:
+        """Structural sanity of one decoded record — a frame can pass
+        its CRC and still hold garbage if the file was tampered with."""
+        ok = (isinstance(record, LogRecord)
+              and isinstance(record.txn_id, int)
+              and isinstance(record.proc_id, int)
+              and record.status in _VALID_STATUSES
+              and record.layout_inputs >= 0 and record.layout_outputs >= 0
+              and record.layout_scratch >= 0 and record.layout_undo >= 0
+              and record.layout_scan >= 0)
+        if not ok:
+            raise CorruptionError("command-log record failed validation",
+                                  artifact=Path(path).name, record=index)

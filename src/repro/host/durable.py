@@ -1,0 +1,129 @@
+"""Durable-file plumbing for the host's recovery artifacts (§4.8).
+
+The command log and checkpoint are the *only* state that survives a
+crash, so they get the treatment real recovery files get:
+
+* **Atomic replace** — content is written to a temporary file in the
+  same directory, flushed and fsynced, then ``os.replace``d over the
+  destination.  A crash mid-save leaves the previous artifact intact,
+  never a half-written one.
+* **Framing + checksums** — a magic/version header followed by
+  length-prefixed, CRC32-guarded frames.  Corruption (bit flips,
+  truncation) is *detected* and reported as
+  :class:`~repro.errors.CorruptionError` with the failing frame, and a
+  truncated tail can be salvaged up to the last intact frame — exactly
+  the semantics a write-ahead-style log needs after losing power
+  mid-append.
+
+The format is deliberately simple::
+
+    MAGIC(4) VERSION(1)
+    repeat: LEN(4, big-endian) CRC32(4, of payload) PAYLOAD(LEN)
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any, List, Tuple
+
+from ..errors import CorruptionError
+
+__all__ = [
+    "atomic_write_bytes", "write_frames", "read_frames", "FORMAT_VERSION",
+]
+
+FORMAT_VERSION = 1
+_FRAME_HEADER = struct.Struct(">II")  # length, crc32
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace)."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".",
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_frames(path, magic: bytes, objects: List[Any]) -> None:
+    """Pickle each object into a CRC-guarded frame and atomically write
+    the whole artifact."""
+    if len(magic) != 4:
+        raise ValueError("magic must be 4 bytes")
+    parts = [magic, bytes([FORMAT_VERSION])]
+    for obj in objects:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        parts.append(_FRAME_HEADER.pack(len(payload),
+                                        zlib.crc32(payload) & 0xFFFFFFFF))
+        parts.append(payload)
+    atomic_write_bytes(path, b"".join(parts))
+
+
+def read_frames(path, magic: bytes,
+                strict: bool = True) -> Tuple[List[Any], bool]:
+    """Read back a framed artifact.
+
+    Returns ``(objects, intact)``.  With ``strict=True`` any defect —
+    bad magic, unsupported version, truncated frame, CRC mismatch,
+    unpicklable payload — raises :class:`CorruptionError`.  With
+    ``strict=False`` a *tail* defect (truncation / corruption after at
+    least the header) salvages the intact prefix and returns
+    ``intact=False``; a bad header still raises, since nothing is
+    salvageable.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    artifact = path.name
+    if len(blob) < 5 or blob[:4] != magic:
+        raise CorruptionError("bad magic: not a BionicDB durable artifact",
+                              artifact=artifact,
+                              expected=magic, got=bytes(blob[:4]))
+    version = blob[4]
+    if version != FORMAT_VERSION:
+        raise CorruptionError("unsupported artifact format version",
+                              artifact=artifact, version=version,
+                              supported=FORMAT_VERSION)
+    objects: List[Any] = []
+    offset = 5
+    index = 0
+    while offset < len(blob):
+        def defect(message: str, **details) -> Tuple[List[Any], bool]:
+            if strict:
+                raise CorruptionError(message, artifact=artifact,
+                                      frame=index, offset=offset, **details)
+            return objects, False
+
+        if offset + _FRAME_HEADER.size > len(blob):
+            return defect("truncated frame header")
+        length, crc = _FRAME_HEADER.unpack_from(blob, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > len(blob):
+            return defect("truncated frame payload",
+                          expected_bytes=length,
+                          available=len(blob) - start)
+        payload = blob[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return defect("frame checksum mismatch")
+        try:
+            objects.append(pickle.loads(payload))
+        except Exception as exc:
+            return defect(f"frame does not unpickle: {exc}")
+        offset = end
+        index += 1
+    return objects, True

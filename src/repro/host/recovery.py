@@ -14,14 +14,19 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 from ..core.system import BionicDB
+from ..errors import BionicError, CorruptionError
 from ..mem.schema import IndexKind
 from ..mem.txnblock import BlockLayout, TxnStatus
 from .command_log import CommandLog, LogRecord
+from .durable import read_frames, write_frames
 
 __all__ = ["Checkpoint", "take_checkpoint", "RecoveryManager", "RecoveryError"]
 
+#: magic for the framed on-disk checkpoint format
+CKPT_MAGIC = b"BDBC"
 
-class RecoveryError(RuntimeError):
+
+class RecoveryError(BionicError, RuntimeError):
     pass
 
 
@@ -34,14 +39,45 @@ class Checkpoint:
     last_commit_ts: int = 0
 
     def save(self, path) -> None:
-        with open(Path(path), "wb") as f:
-            pickle.dump((self.rows, self.last_commit_ts), f)
+        """Atomic, checksummed save: one frame for the commit timestamp
+        plus one frame per (table, partition) — so a corrupt partition
+        image names itself instead of poisoning the whole image."""
+        frames: List[tuple] = [("meta", self.last_commit_ts)]
+        frames.extend(("rows", key, items)
+                      for key, items in sorted(self.rows.items()))
+        write_frames(path, CKPT_MAGIC, frames)
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
-        with open(Path(path), "rb") as f:
-            rows, last_ts = pickle.load(f)
-        return cls(rows=rows, last_commit_ts=last_ts)
+        try:
+            frames, _intact = read_frames(path, CKPT_MAGIC, strict=True)
+        except CorruptionError as exc:
+            if exc.details.get("expected") == CKPT_MAGIC:
+                legacy = cls._load_legacy(path)
+                if legacy is not None:
+                    return legacy
+            raise
+        if not frames or frames[0][0] != "meta":
+            raise CorruptionError("checkpoint missing meta frame",
+                                  artifact=Path(path).name)
+        ckpt = cls(last_commit_ts=frames[0][1])
+        for frame in frames[1:]:
+            if (not isinstance(frame, tuple) or len(frame) != 3
+                    or frame[0] != "rows"):
+                raise CorruptionError("checkpoint frame failed validation",
+                                      artifact=Path(path).name)
+            ckpt.rows[frame[1]] = frame[2]
+        return ckpt
+
+    @staticmethod
+    def _load_legacy(path) -> "Checkpoint":
+        """Best-effort read of the pre-framing (rows, ts) pickle."""
+        try:
+            with open(Path(path), "rb") as f:
+                rows, last_ts = pickle.load(f)
+        except Exception:
+            return None
+        return Checkpoint(rows=rows, last_commit_ts=last_ts)
 
 
 def take_checkpoint(db: BionicDB) -> Checkpoint:
@@ -69,7 +105,13 @@ class RecoveryManager:
         """Bulk-load the checkpoint image; returns rows restored."""
         n = 0
         for (table_id, partition), items in ckpt.rows.items():
-            schema = self.db.schemas.table(table_id)
+            try:
+                schema = self.db.schemas.table(table_id)
+            except Exception as exc:
+                raise RecoveryError(
+                    f"checkpoint references table {table_id} which the "
+                    f"target database does not define: {exc}",
+                    table_id=table_id) from exc
             for key, fields, _write_ts in items:
                 if schema.replicated:
                     self.db.load(table_id, key, fields)
@@ -88,8 +130,13 @@ class RecoveryManager:
         """
         replayed = 0
         for record in log.committed_in_order():
-            block = self._rebuild_block(record)
-            self.db.submit(block, record.home_worker)
+            try:
+                block = self._rebuild_block(record)
+                self.db.submit(block, record.home_worker)
+            except BionicError as exc:
+                raise RecoveryError(
+                    f"cannot replay txn {record.txn_id}: {exc}",
+                    txn_id=record.txn_id, proc_id=record.proc_id) from exc
             self.db.run()
             if block.header.status is not TxnStatus.COMMITTED:
                 raise RecoveryError(

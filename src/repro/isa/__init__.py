@@ -7,10 +7,12 @@ from .instructions import (
     BlockRef, Cp, CPU_OPCODES, DB_OPCODES, FieldRef, Gp, Imm, Instruction,
     IsaError, Label, Opcode, Program, Section,
 )
+from .verify import Finding, VerificationReport, verify_program
 
 __all__ = [
     "AssemblyError", "assemble", "assemble_one", "ProcedureBuilder",
     "disassemble", "BlockRef", "Cp", "CPU_OPCODES", "DB_OPCODES",
     "FieldRef", "Gp", "Imm", "Instruction", "IsaError", "Label",
     "Opcode", "Program", "Section",
+    "Finding", "VerificationReport", "verify_program",
 ]

@@ -58,6 +58,17 @@ _NAME_RE = re.compile(r"^[A-Za-z_][\w]*$")
 
 
 def _parse_operand(tok: str, line_no: int):
+    try:
+        return _parse_operand_inner(tok, line_no)
+    except AssemblyError:
+        raise
+    except IsaError as exc:
+        # e.g. Gp/Cp range errors raised by the operand constructors:
+        # re-anchor them to the offending source line
+        raise AssemblyError(str(exc), line_no) from None
+
+
+def _parse_operand_inner(tok: str, line_no: int):
     if m := _GP_RE.match(tok):
         return Gp(int(m.group(1)))
     if m := _CP_RE.match(tok):
@@ -183,6 +194,13 @@ def assemble(text: str, tables: Optional[Dict[str, int]] = None
             parts = line.split()
             if len(parts) != 2:
                 raise AssemblyError(".proc requires a name", line_no, raw)
+            if not _NAME_RE.match(parts[1]):
+                raise AssemblyError(
+                    f"invalid procedure name {parts[1]!r}", line_no, raw)
+            if parts[1] in programs or (current is not None
+                                        and current.name == parts[1]):
+                raise AssemblyError(
+                    f"duplicate procedure name {parts[1]!r}", line_no, raw)
             if current is not None:
                 programs[current.name] = current.finalize()
             current = Program(parts[1])

@@ -28,6 +28,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..errors import BionicError
+
 __all__ = [
     "Opcode", "Gp", "Cp", "Imm", "BlockRef", "FieldRef", "Label",
     "Instruction", "Program", "Section", "IsaError",
@@ -35,7 +37,7 @@ __all__ = [
 ]
 
 
-class IsaError(ValueError):
+class IsaError(BionicError, ValueError):
     """Raised for malformed instructions or programs."""
 
 

@@ -1,0 +1,205 @@
+"""Static verification of ISA programs.
+
+The softcore executes whatever the catalogue hands it; a malformed
+stored procedure does not fault cleanly — it *hangs*.  A ``RET`` on a
+CP register no DB instruction ever writes parks the softcore process on
+``wait_valid`` forever; a commit handler with no ``COMMIT`` releases
+the transaction without ever setting its status; a branch target past
+the end of a section silently falls through.  On real hardware these
+are tape-out reviews; here they are a static pass run at procedure
+registration (§4.3 — registration is the last host-side moment before
+the program is on-chip).
+
+:func:`verify_program` performs the checks and returns a
+:class:`VerificationReport` of findings.  Fatal findings (``error``
+severity) raise :class:`~repro.errors.VerificationError` via
+:meth:`VerificationReport.raise_if_errors` — which is what
+``Catalogue.register`` does by default.
+
+Checks
+------
+
+errors
+    * ``register-pressure`` — the program's GP/CP footprint exceeds the
+      softcore register file, so admission could never allocate it.
+    * ``branch-out-of-range`` — a resolved branch target outside
+      ``[0, len(section)]`` (``len`` itself is a legal fall-through).
+    * ``commit-in-logic`` — ``COMMIT`` inside transaction logic (the
+      softcore traps this at run time; catch it before).
+    * ``ret-unwritten-cp`` — ``RET``/``RETN`` collects a CP register
+      that no DB instruction in the program dispatches: a guaranteed
+      deadlock.
+    * ``missing-commit`` / ``missing-abort`` — a non-empty commit
+      (abort) handler that can never reach ``COMMIT`` (``ABORT``), so
+      the block's status is never finalised.
+    * ``unknown-table`` — only when a schema catalog is supplied: a DB
+      instruction references a table id the catalog does not know.
+
+warnings
+    * ``db-outside-logic`` — a DB instruction in a commit/abort
+      handler; dispatched writes there bypass the §4.7 commit protocol.
+    * ``scan-count`` — a SCAN with a non-positive immediate count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import VerificationError
+from .instructions import (
+    BRANCH_OPCODES, Cp, Imm, Instruction, Opcode, Program, Section,
+)
+
+__all__ = ["Finding", "VerificationReport", "verify_program"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier diagnostic, anchored to a section + instruction."""
+
+    severity: str          # "error" | "warning"
+    code: str              # stable machine-readable check name
+    message: str
+    section: Optional[Section] = None
+    index: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = ""
+        if self.section is not None:
+            where = f" at {self.section.value}[{self.index}]"
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of :func:`verify_program`."""
+
+    program_name: str
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_errors(self) -> "VerificationReport":
+        if self.errors:
+            listing = "; ".join(str(f) for f in self.errors)
+            raise VerificationError(
+                f"program {self.program_name!r} failed verification: {listing}",
+                program=self.program_name, n_errors=len(self.errors))
+        return self
+
+
+def _dispatched_cps(program: Program) -> set:
+    cps = set()
+    for which in Section:
+        for inst in program.section(which):
+            if inst.is_db and inst.cp is not None:
+                cps.add(inst.cp.n)
+    return cps
+
+
+def _reaches_terminator(insts: List[Instruction], terminator: Opcode) -> bool:
+    """Whether ``terminator`` is reachable from instruction 0 under the
+    softcore's control flow (branches may or may not be taken)."""
+    if not insts:
+        return False
+    seen = set()
+    frontier = [0]
+    while frontier:
+        pc = frontier.pop()
+        if pc in seen or not 0 <= pc < len(insts):
+            continue
+        seen.add(pc)
+        inst = insts[pc]
+        if inst.opcode is terminator:
+            return True
+        if inst.opcode in BRANCH_OPCODES and isinstance(inst.target, int):
+            frontier.append(inst.target)
+            if inst.opcode is not Opcode.JMP:
+                frontier.append(pc + 1)
+        else:
+            frontier.append(pc + 1)
+    return False
+
+
+def verify_program(program: Program, n_registers: int = 256,
+                   schemas=None) -> VerificationReport:
+    """Statically verify ``program``; finalises it first if needed.
+
+    ``schemas`` is an optional :class:`repro.mem.schema.Catalog`; when
+    given, DB-instruction table references are checked against it.
+    """
+    if not program.finalized:
+        program.finalize()
+    report = VerificationReport(program_name=program.name)
+    add = report.findings.append
+
+    if program.gp_needed > n_registers:
+        add(Finding("error", "register-pressure",
+                    f"needs {program.gp_needed} GP registers, softcore "
+                    f"has {n_registers}"))
+    if program.cp_needed > n_registers:
+        add(Finding("error", "register-pressure",
+                    f"needs {program.cp_needed} CP registers, softcore "
+                    f"has {n_registers}"))
+
+    dispatched = _dispatched_cps(program)
+    known_tables = (None if schemas is None
+                    else {s.table_id for s in schemas})
+
+    for which in Section:
+        insts = program.section(which)
+        for i, inst in enumerate(insts):
+            op = inst.opcode
+            if op in BRANCH_OPCODES and isinstance(inst.target, int):
+                if not 0 <= inst.target <= len(insts):
+                    add(Finding("error", "branch-out-of-range",
+                                f"target {inst.target} outside section of "
+                                f"{len(insts)} instructions", which, i))
+            if op is Opcode.COMMIT and which is Section.LOGIC:
+                add(Finding("error", "commit-in-logic",
+                            "COMMIT is only legal in a commit handler "
+                            "(the logic section exits by falling through)",
+                            which, i))
+            if op in (Opcode.RET, Opcode.RETN) and inst.cp is not None:
+                if inst.cp.n not in dispatched:
+                    add(Finding("error", "ret-unwritten-cp",
+                                f"collects c{inst.cp.n} but no DB "
+                                f"instruction writes it — the softcore "
+                                f"would wait forever", which, i))
+            if inst.is_db and which is not Section.LOGIC:
+                add(Finding("warning", "db-outside-logic",
+                            f"{op.value} dispatched from the "
+                            f"{which.value} handler bypasses the commit "
+                            f"protocol", which, i))
+            if (op is Opcode.SCAN and isinstance(inst.a, Imm)
+                    and inst.a.value is not None
+                    and isinstance(inst.a.value, int) and inst.a.value < 1):
+                add(Finding("warning", "scan-count",
+                            f"SCAN count {inst.a.value} never yields rows",
+                            which, i))
+            if (inst.is_db and known_tables is not None
+                    and inst.table not in known_tables):
+                add(Finding("error", "unknown-table",
+                            f"{op.value} references table {inst.table} "
+                            f"which the catalog does not define", which, i))
+
+    if program.commit and not _reaches_terminator(program.commit, Opcode.COMMIT):
+        add(Finding("error", "missing-commit",
+                    "commit handler can never reach COMMIT; the block's "
+                    "status would never be finalised", Section.COMMIT, 0))
+    if program.abort and not _reaches_terminator(program.abort, Opcode.ABORT):
+        add(Finding("error", "missing-abort",
+                    "abort handler can never reach ABORT; rollback would "
+                    "never run", Section.ABORT, 0))
+    return report

@@ -13,10 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..errors import BionicError
+
 __all__ = ["IndexKind", "TableSchema", "Catalog", "SchemaError"]
 
 
-class SchemaError(ValueError):
+class SchemaError(BionicError, ValueError):
     """Raised for schema misconfiguration."""
 
 

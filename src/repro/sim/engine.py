@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..errors import BionicError
+
 __all__ = [
     "Engine",
     "Event",
@@ -29,7 +31,7 @@ __all__ = [
 ]
 
 
-class SimulationError(RuntimeError):
+class SimulationError(BionicError, RuntimeError):
     """Raised for illegal engine operations (double trigger, etc.)."""
 
 
@@ -248,6 +250,8 @@ class Engine:
         self._seq = 0
         self._dispatching = False
         self._ready: list = []
+        #: lifetime count of fired events (watchdog bookkeeping)
+        self.events_fired: int = 0
 
     # -- public API ------------------------------------------------------
     def event(self) -> Event:
@@ -277,15 +281,30 @@ class Engine:
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         self.call_at(self.now + delay, fn)
 
-    def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or simulated time reaches ``until``."""
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        ``max_events`` is a watchdog: if more than that many events fire
+        in this call, raise :class:`SimulationError` instead of spinning
+        the host forever on a runaway process (e.g. a stored procedure
+        branching in an unconditional loop, which makes simulated
+        progress on every iteration and so never trips ``until``).
+        """
+        fired = 0
         while self._heap:
             when, _seq, event = self._heap[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"watchdog: {fired} events fired without the heap "
+                    f"draining — runaway process?", now_ns=self.now,
+                    pending=len(self._heap))
             heapq.heappop(self._heap)
             self.now = when
+            fired += 1
             self._fire(event)
         if until is not None:
             self.now = max(self.now, until)
@@ -316,6 +335,7 @@ class Engine:
         self._schedule_at(self.now, event)
 
     def _fire(self, event: Event) -> None:
+        self.events_fired += 1
         if isinstance(event, Timeout):
             event.triggered = True
         callbacks, event.callbacks = event.callbacks, None

@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..errors import ProcedureNotFoundError
 from ..isa.instructions import Opcode, Program, Section
+from ..isa.verify import verify_program
 from ..mem.schema import Catalog
 from ..sim.memory import Bram
 
@@ -27,31 +29,56 @@ class ProcedureEntry:
     #: CP registers collected with RETN: a NOT_FOUND result there is
     #: tolerated rather than trapping to the abort handler
     tolerant_cps: frozenset = frozenset()
+    #: table ids the program's DB instructions reference; checked
+    #: against the schema catalog at submission time
+    tables_used: frozenset = frozenset()
 
 
 class Catalogue:
     """Per-worker procedure + schema store (replicated to every worker)."""
 
-    def __init__(self, schemas: Catalog, lookup_cycles: float = 2.0):
+    def __init__(self, schemas: Catalog, lookup_cycles: float = 2.0,
+                 n_registers: int = 256):
         self.schemas = schemas
         self.lookup_cycles = lookup_cycles
+        self.n_registers = n_registers
         self._procs: Dict[int, ProcedureEntry] = {}
         self.bram = Bram("catalogue", capacity_bytes=16 * 1024)
 
-    def register(self, proc_id: int, program: Program) -> ProcedureEntry:
+    def register(self, proc_id: int, program: Program,
+                 verify: bool = True) -> ProcedureEntry:
+        """Install (or replace) a stored procedure.
+
+        ``verify=True`` runs the static program verifier first: a
+        structurally defective procedure (deadlocking RET, unreachable
+        COMMIT, over-budget register footprint…) is rejected here, at
+        the last host-side moment, instead of hanging the softcore.
+        Table references are *not* checked here — tables may be defined
+        after procedures — but are recorded in ``tables_used`` and
+        checked at submission.
+        """
         if not program.finalized:
             program.finalize()
+        if verify:
+            verify_program(program,
+                           n_registers=self.n_registers).raise_if_errors()
         tolerant = frozenset(
             inst.cp.n
             for section in Section
             for inst in program.section(section)
             if inst.opcode is Opcode.RETN)
+        tables = frozenset(
+            inst.table
+            for section in Section
+            for inst in program.section(section)
+            if inst.is_db and inst.table is not None)
         entry = ProcedureEntry(
             proc_id=proc_id,
             program=program,
             gp_needed=max(1, program.gp_needed),
             cp_needed=max(1, program.cp_needed),
             tolerant_cps=tolerant,
+            tables_used=tables,
         )
         # replacement is allowed: clients may change an existing txn type
         self._procs[proc_id] = entry
@@ -61,7 +88,9 @@ class Catalogue:
         try:
             return self._procs[proc_id]
         except KeyError:
-            raise KeyError(f"no stored procedure registered for id {proc_id}") from None
+            raise ProcedureNotFoundError(
+                f"no stored procedure registered for id {proc_id}",
+                proc_id=proc_id, registered=sorted(self._procs)) from None
 
     def __contains__(self, proc_id: int) -> bool:
         return proc_id in self._procs

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..errors import BionicError
 from ..isa.instructions import (
     BlockRef, Cp, FieldRef, Gp, Imm, Instruction, Opcode, Program, Section,
 )
@@ -48,7 +49,7 @@ __all__ = ["SoftcoreConfig", "Softcore", "ExecutionError"]
 _WRITE_OPS = (Opcode.INSERT, Opcode.UPDATE, Opcode.REMOVE)
 
 
-class ExecutionError(RuntimeError):
+class ExecutionError(BionicError, RuntimeError):
     """Raised for malformed runtime situations (bad operand, etc.)."""
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ...errors import WorkloadError
 from ...mem.schema import IndexKind, TableSchema
 
 __all__ = [
@@ -130,6 +131,17 @@ class TpccConfig:
     remote_payment_fraction: float = 0.15
     remote_neworder_fraction: float = 0.01
     seed: int = 7
+
+    def __post_init__(self):
+        for name in ("n_partitions", "districts_per_warehouse",
+                     "customers_per_district", "items"):
+            if getattr(self, name) < 1:
+                raise WorkloadError(f"{name} must be >= 1",
+                                    **{name: getattr(self, name)})
+        for name in ("remote_payment_fraction", "remote_neworder_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1]",
+                                    **{name: getattr(self, name)})
 
     @property
     def n_warehouses(self) -> int:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ...core.system import BionicDB
+from ...errors import WorkloadError
 from ..ycsb import TxnSpec
 from . import schema as S
 from .procedures import (
@@ -186,6 +187,9 @@ class TpccWorkload:
 
     def make_mix(self, n_txns: int, neworder_fraction: float = 0.5) -> List[TxnSpec]:
         """The paper's 50:50 NewOrder/Payment mix."""
+        if not 0.0 <= neworder_fraction <= 1.0:
+            raise WorkloadError("neworder_fraction must be in [0, 1]",
+                                neworder_fraction=neworder_fraction)
         out = []
         for _ in range(n_txns):
             if self._rng.random() < neworder_fraction:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.system import BionicDB
+from ..errors import WorkloadError
 from ..isa.builder import ProcedureBuilder
 from ..isa.instructions import Gp, Program
 from ..mem.schema import IndexKind, TableSchema
@@ -62,6 +63,18 @@ class YcsbConfig:
     zipfian: bool = False                 # paper's multisite runs are uniform
     remote_fraction: float = 0.0          # Figure 13: 0.75
     seed: int = 42
+
+    def __post_init__(self):
+        for name in ("records_per_partition", "n_partitions",
+                     "reads_per_txn", "scan_length"):
+            if getattr(self, name) < 1:
+                raise WorkloadError(f"{name} must be >= 1",
+                                    **{name: getattr(self, name)})
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise WorkloadError("remote_fraction must be in [0, 1]",
+                                remote_fraction=self.remote_fraction)
+        if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST):
+            raise WorkloadError(f"unknown index kind {self.index_kind!r}")
 
     @property
     def total_records(self) -> int:

@@ -11,6 +11,8 @@ import math
 import random
 from typing import Optional
 
+from ..errors import WorkloadError
+
 __all__ = ["ZipfianGenerator", "ScrambledZipfianGenerator", "UniformGenerator"]
 
 _FNV_OFFSET = 0xCBF29CE484222325
@@ -31,7 +33,7 @@ class UniformGenerator:
 
     def __init__(self, n: int, seed: int = 0):
         if n < 1:
-            raise ValueError("n must be >= 1")
+            raise WorkloadError("n must be >= 1", n=n)
         self.n = n
         self._rng = random.Random(seed)
 
@@ -44,9 +46,9 @@ class ZipfianGenerator:
 
     def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
         if n < 1:
-            raise ValueError("n must be >= 1")
+            raise WorkloadError("n must be >= 1", n=n)
         if not 0 < theta < 1:
-            raise ValueError("theta must be in (0, 1)")
+            raise WorkloadError("theta must be in (0, 1)", theta=theta)
         self.n = n
         self.theta = theta
         self._rng = random.Random(seed)

@@ -152,15 +152,17 @@ class TestMemoryAccess:
 
 class TestErrors:
     def test_commit_in_logic_is_rejected(self):
+        from repro.errors import VerificationError
+
         db = make_db()
-
-        def build(b):
-            b.commit()  # COMMIT in the logic section
-
-        block = db  # noqa: F841
         b = ProcedureBuilder("bad")
-        build(b)
-        db.register_procedure(3, b.build())
+        b.commit()  # COMMIT in the logic section
+        program = b.build()
+        # caught statically at registration...
+        with pytest.raises(VerificationError):
+            db.register_procedure(3, program)
+        # ...and, if verification is bypassed, still trapped at run time
+        db.register_procedure(3, program, verify=False)
         blk = db.new_block(3, [], worker=0)
         db.submit(blk, 0)
         with pytest.raises(ExecutionError):
