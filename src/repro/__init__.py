@@ -10,13 +10,13 @@ the paper.
 __version__ = "1.1.0"
 
 from .errors import (  # noqa: E402  (re-export the error taxonomy)
-    BionicError, ConfigError, CorruptionError, ProcedureNotFoundError,
-    StuckTransactionError, SubmissionError, ValidationError,
-    VerificationError, WorkloadError,
+    BionicError, ConfigError, CorruptionError, FrontendError,
+    ProcedureNotFoundError, StuckTransactionError, SubmissionError,
+    ValidationError, VerificationError, WorkloadError,
 )
 
 __all__ = [
-    "BionicError", "ConfigError", "CorruptionError",
+    "BionicError", "ConfigError", "CorruptionError", "FrontendError",
     "ProcedureNotFoundError", "StuckTransactionError", "SubmissionError",
     "ValidationError", "VerificationError", "WorkloadError",
 ]

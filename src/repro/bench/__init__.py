@@ -17,6 +17,12 @@ __all__ = [
     "FigureReport", "Series", "run_power", "run_table3", "run_table4",
 ]
 
+from .fig_latency_load import (  # noqa: E402
+    measure_latency_load, run_latency_load,
+)
+
+__all__ += ["measure_latency_load", "run_latency_load"]
+
 from .ablations import (  # noqa: E402
     run_batch_cap_sweep, run_cluster_scale_out, run_dynamic_scheduling,
     run_full_tpcc_mix, run_hazard_prevention_cost, run_latency_curve,

@@ -24,9 +24,9 @@ from . import (
     run_full_tpcc_mix, run_latency_curve,
     run_fig9a, run_fig9b, run_fig10a, run_fig10b, run_fig10c, run_fig10d,
     run_fig11a, run_fig11b, run_fig11c, run_fig11d, run_fig12a, run_fig12b,
-    run_fig13, run_hazard_prevention_cost, run_line_buffer_ablation,
-    run_power, run_scale_up, run_table3, run_table4,
-    run_traverse_stage_sweep, scanner_count_sweep,
+    run_fig13, run_hazard_prevention_cost, run_latency_load,
+    run_line_buffer_ablation, run_power, run_scale_up, run_table3,
+    run_table4, run_traverse_stage_sweep, scanner_count_sweep,
 )
 
 EXPERIMENTS = {
@@ -60,6 +60,7 @@ EXPERIMENTS = {
     "ext-cluster": (run_cluster_scale_out, {"n_txns_per_part": 40},
                     {"n_txns_per_part": 20}),
     "ext-latency": (run_latency_curve, {"n_txns": 150}, {"n_txns": 80}),
+    "ext-frontend": (run_latency_load, {"n_txns": 1500}, {"n_txns": 500}),
     "ext-fullmix": (run_full_tpcc_mix, {"n_txns": 200}, {"n_txns": 100}),
 }
 

@@ -17,7 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..core.config import BionicConfig
 from ..core.system import RunReport
-from ..errors import SubmissionError
+from ..errors import FrontendError, SubmissionError
 from ..dora.worker import PartitionWorker
 from ..mem.schema import Catalog, IndexKind, TableSchema
 from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
@@ -82,6 +82,8 @@ class BionicCluster:
                 on_txn_done=self._on_txn_done,
             ))
         self._txn_counter = 0
+        self._done_callbacks: List = []
+        self.frontend = None
 
     def node_of(self, worker: int) -> int:
         return worker // self.workers_per_node
@@ -139,11 +141,47 @@ class BionicCluster:
         if not 0 <= w < self.total_workers:
             raise SubmissionError("submit worker out of range",
                                   worker=w, total_workers=self.total_workers)
+        if self.node_of(w) != self.node_of(block.home_worker):
+            # shared nothing: the block lives in its home node's DRAM; a
+            # worker on another node would read a different heap entirely
+            raise SubmissionError(
+                "block is homed on another node's DRAM; create it with "
+                "new_block(..., worker=<target>) so the data is local",
+                worker=w, home_worker=block.home_worker,
+                worker_node=self.node_of(w),
+                home_node=self.node_of(block.home_worker))
         self.catalogue.lookup(block.proc_id)  # raises if unregistered
+        block.submitted_at_ns = self.engine.now
         self.workers[w].softcore.submit(block)
 
-    def _on_txn_done(self, _block) -> None:
+    def _on_txn_done(self, block) -> None:
         self._done_count += 1
+        block.done_at_ns = self.engine.now
+        for fn in self._done_callbacks:
+            fn(block)
+
+    # -- front-end attach point (repro.frontend) -----------------------------
+    def add_done_callback(self, fn) -> None:
+        self._done_callbacks.append(fn)
+
+    def remove_done_callback(self, fn) -> None:
+        if fn in self._done_callbacks:
+            self._done_callbacks.remove(fn)
+
+    def attach_frontend(self, frontend) -> None:
+        """Wire a :class:`repro.frontend.FrontEnd` over the whole
+        cluster: requests are dispatched to global worker ids."""
+        if self.frontend is not None:
+            raise FrontendError("a front-end is already attached",
+                                attached=type(self.frontend).__name__)
+        self.frontend = frontend
+        self.add_done_callback(frontend._note_done)
+
+    def detach_frontend(self, frontend) -> None:
+        if self.frontend is not frontend:
+            raise FrontendError("front-end is not the attached one")
+        self.frontend = None
+        self.remove_done_callback(frontend._note_done)
 
     def run(self, until: Optional[float] = None) -> float:
         now = self.engine.run(until=until)

@@ -28,7 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..comm.channels import Crossbar
 from ..dora.worker import PartitionWorker
-from ..errors import StuckTransactionError, SubmissionError
+from ..errors import FrontendError, StuckTransactionError, SubmissionError
 from ..isa.instructions import Program
 from ..mem.schema import Catalog, IndexKind, TableSchema
 from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
@@ -75,13 +75,10 @@ class RunReport:
 
     def latency_percentile_ns(self, p: float) -> float:
         """p in (0, 100]; nearest-rank percentile of txn latency."""
+        from ..sim.stats import nearest_rank
         if not self.latencies_ns:
             return 0.0
-        if not 0 < p <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        ordered = sorted(self.latencies_ns)
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil
-        return ordered[int(rank) - 1]
+        return nearest_rank(sorted(self.latencies_ns), p)
 
 
 class BionicDB:
@@ -134,6 +131,10 @@ class BionicDB:
         #: proc ids whose table references were validated against the
         #: current schema catalog (reset when a table is defined)
         self._table_checked: set = set()
+        #: completion hooks (the front-end's attach point, diagnostics)
+        self._done_callbacks: List = []
+        #: the attached repro.frontend.FrontEnd, if any
+        self.frontend = None
 
     # -- schema & procedures ------------------------------------------------
     def define_table(self, schema: TableSchema) -> TableSchema:
@@ -238,6 +239,35 @@ class BionicDB:
         self._done_count += 1
         block.done_at_ns = self.engine.now
         self._inflight.pop(block.txn_id, None)
+        for fn in self._done_callbacks:
+            fn(block)
+
+    # -- front-end attach point (repro.frontend) -----------------------------
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(block)`` whenever a transaction reaches a terminal
+        state — the hook the network front-end (and any monitor) uses."""
+        self._done_callbacks.append(fn)
+
+    def remove_done_callback(self, fn) -> None:
+        if fn in self._done_callbacks:
+            self._done_callbacks.remove(fn)
+
+    def attach_frontend(self, frontend) -> None:
+        """Wire a :class:`repro.frontend.FrontEnd` as the serving path.
+
+        Only one front-end may be attached at a time; it observes every
+        completion through the done-callback hook."""
+        if self.frontend is not None:
+            raise FrontendError("a front-end is already attached",
+                                attached=type(self.frontend).__name__)
+        self.frontend = frontend
+        self.add_done_callback(frontend._note_done)
+
+    def detach_frontend(self, frontend) -> None:
+        if self.frontend is not frontend:
+            raise FrontendError("front-end is not the attached one")
+        self.frontend = None
+        self.remove_done_callback(frontend._note_done)
 
     # -- running -----------------------------------------------------------------
     def run(self, until: Optional[float] = None,

@@ -18,6 +18,7 @@ The hierarchy::
     ├── WorkloadError          bad workload generator parameters
     ├── CorruptionError        durable artifact failed its integrity check
     ├── StuckTransactionError  simulation drained with live transactions
+    ├── FrontendError          network front-end misuse (double attach, …)
     └── (rebased domain errors: IsaError, SchemaError, SimulationError,
          ExecutionError, RecoveryError, ClusterError)
 
@@ -39,6 +40,7 @@ __all__ = [
     "WorkloadError",
     "CorruptionError",
     "StuckTransactionError",
+    "FrontendError",
 ]
 
 
@@ -95,3 +97,9 @@ class StuckTransactionError(BionicError, RuntimeError):
     """The event heap drained while submitted transactions were still
     live — a silent hang (e.g. a RET on a CP register no DB instruction
     ever writes) that must not masquerade as a quiet run."""
+
+
+class FrontendError(BionicError, RuntimeError):
+    """The network front-end was misused: attaching a second front-end
+    to a system that already has one, dispatching through a detached
+    front-end, and similar host-side wiring mistakes."""

@@ -1,0 +1,28 @@
+"""The network front-end: NIC, sessions, admission, dispatch, SLOs.
+
+The serving stack the paper defers ("ideally, remote clients should
+submit transaction blocks through network cards", §5.1): all traffic
+can now enter a BionicDB or BionicCluster through a simulated link
+with admission control, multi-tenant fair queuing, deadline
+scheduling and SLO observability.  See ``docs/frontend.md``.
+"""
+
+from .admission import (
+    AdmissionConfig, AdmissionController, TokenBucket,
+    REASON_BACKLOG, REASON_DEADLINE, REASON_RATE, REASON_RX_OVERFLOW,
+)
+from .core import FrontEnd, FrontendConfig
+from .nic import Nic, NicConfig
+from .scheduler import DispatchScheduler, SchedulerConfig
+from .session import ClientSession, Request, SessionConfig
+from .slo import FrontendReport, SessionStats
+
+__all__ = [
+    "FrontEnd", "FrontendConfig",
+    "Nic", "NicConfig",
+    "AdmissionConfig", "AdmissionController", "TokenBucket",
+    "DispatchScheduler", "SchedulerConfig",
+    "ClientSession", "Request", "SessionConfig",
+    "FrontendReport", "SessionStats",
+    "REASON_BACKLOG", "REASON_DEADLINE", "REASON_RATE", "REASON_RX_OVERFLOW",
+]

@@ -1,0 +1,241 @@
+"""The FrontEnd: the serving path every request now walks.
+
+::
+
+    session arrival ──► NIC (wire + bounded RX) ──► pump
+                                                     │ admission control
+                                                     ▼
+                                  dispatch scheduler (WFQ / EDF, window)
+                                                     │
+                                                     ▼
+                              BionicDB.submit ──► softcore batch former
+
+Attach one FrontEnd to a :class:`~repro.core.system.BionicDB` or
+:class:`~repro.cluster.system.BionicCluster`, create sessions, then
+``run()``: the same discrete-event engine advances clients, the link,
+the pump, the dispatchers and the chip on one timeline, and a
+:class:`~repro.frontend.slo.FrontendReport` summarises the outcome.
+
+Every generated request ends in exactly one terminal state —
+``committed``, ``aborted``, ``rejected`` or ``timed_out``; if the
+event heap drains with a request unresolved, ``run()`` raises
+:class:`~repro.errors.StuckTransactionError` (the PR-1 machinery)
+rather than letting the loss masquerade as a quiet run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..errors import FrontendError, StuckTransactionError
+from ..mem.txnblock import TxnStatus
+from .admission import (
+    AdmissionConfig, AdmissionController, REASON_DEADLINE, REASON_RX_OVERFLOW,
+)
+from .nic import Nic, NicConfig
+from .scheduler import DispatchScheduler, SchedulerConfig
+from .session import ClientSession, Request, SessionConfig
+from .slo import FrontendReport
+
+__all__ = ["FrontendConfig", "FrontEnd"]
+
+
+@dataclass
+class FrontendConfig:
+    nic: NicConfig = field(default_factory=NicConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    @staticmethod
+    def passthrough() -> "FrontendConfig":
+        """A transparent front-end: infinite link, no admission, no
+        dispatch window — requests reach the workers at their arrival
+        instants, preserving the historical direct-submit behaviour
+        (used by the open-loop client for API compatibility)."""
+        return FrontendConfig(
+            nic=NicConfig(bandwidth_gbps=None, propagation_ns=0.0,
+                          rx_queue_depth=None, rx_process_ns=0.0),
+            admission=AdmissionConfig(enabled=False),
+            scheduler=SchedulerConfig(policy="fifo",
+                                      max_inflight_per_worker=None),
+        )
+
+
+class FrontEnd:
+    """The network front-end for one BionicDB (or cluster)."""
+
+    def __init__(self, db, config: Optional[FrontendConfig] = None):
+        self.db = db
+        self.config = config or FrontendConfig()
+        self.engine = db.engine
+        n_workers = getattr(db, "total_workers", None) or db.config.n_workers
+        self.nic = Nic(self.engine, self.config.nic, stats=db.stats,
+                       name="frontend.nic")
+        self.admission = AdmissionController(self.engine,
+                                             self.config.admission,
+                                             stats=db.stats)
+        self.scheduler = DispatchScheduler(
+            self.engine, n_workers, self.config.scheduler,
+            submit=self._submit, on_timeout=self._timeout, stats=db.stats)
+        self.sessions: List[ClientSession] = []
+        self._by_txn = {}              # txn_id -> Request (in the chip)
+        self._procs = list(self.scheduler.procs)
+        self._start_ns = self.engine.now
+        self._attached = True
+        db.attach_frontend(self)
+        pump = self.engine.process(self._pump(), name="frontend.pump")
+        self._track(pump)
+
+    # -- sessions -----------------------------------------------------------
+    def session(self, factory, config: Optional[SessionConfig] = None,
+                **kwargs) -> ClientSession:
+        """Open a client session.
+
+        ``factory(i) -> (block, home_worker)`` builds request *i* at its
+        arrival instant.  Pass a :class:`SessionConfig`, or its fields
+        as keyword arguments.
+        """
+        if not self._attached:
+            raise FrontendError("front-end is detached from its system")
+        if config is None:
+            config = SessionConfig(**kwargs)
+        elif kwargs:
+            raise FrontendError("pass a SessionConfig or kwargs, not both")
+        sess = ClientSession(self, len(self.sessions), config, factory)
+        self.sessions.append(sess)
+        self.scheduler.register_session(sess.id, config.weight)
+        return sess
+
+    def _track(self, proc) -> None:
+        self._procs.append(proc)
+
+    # -- the serving path ----------------------------------------------------
+    def _launch(self, req: Request) -> None:
+        """Open-loop delivery: runs independently of the arrival clock."""
+        proc = self.engine.process(
+            self._deliver(req),
+            name=f"frontend.deliver.{req.session.config.name}.{req.index}")
+        self._track(proc)
+
+    def _deliver(self, req: Request):
+        """Drive one request to a terminal outcome, retrying sheds."""
+        cfg = req.session.config
+        while True:
+            ok = yield from self.nic.transmit(req)
+            if ok:
+                yield req.done_event
+            else:
+                self._finish(req, "rejected", REASON_RX_OVERFLOW)
+            if (req.outcome == "rejected"
+                    and req.attempts < cfg.max_retries):
+                req.attempts += 1
+                req.session.stats.retries += 1
+                backoff = cfg.retry_backoff_ns * (2 ** (req.attempts - 1))
+                if backoff > 0:
+                    yield self.engine.timeout(backoff)
+                req.reset_for_retry(self.engine)
+                continue
+            break
+        req.session._record_terminal(req)
+
+    def _pump(self):
+        """Drain the NIC RX queue: admission control, then dispatch."""
+        rx_ns = self.nic.config.rx_process_ns
+        while True:
+            req = yield self.nic.rx.get()
+            if rx_ns > 0:
+                yield self.engine.timeout(rx_ns)
+            if req.expired(self.engine.now):
+                self._finish(req, "timed_out", REASON_DEADLINE)
+                continue
+            reason = self.admission.check(self.scheduler.backlog)
+            if reason is not None:
+                self._finish(req, "rejected", reason)
+                continue
+            self.scheduler.enqueue(req)
+
+    def _submit(self, req: Request) -> None:
+        self._by_txn[req.block.txn_id] = req
+        self.db.submit(req.block, req.home)
+
+    def _timeout(self, req: Request) -> None:
+        self._finish(req, "timed_out", REASON_DEADLINE)
+
+    def _finish(self, req: Request, outcome: str,
+                reason: Optional[str] = None) -> None:
+        """Shed terminal states (rejected / timed out): stamp the block
+        and wake whoever is waiting on the request."""
+        req.outcome = outcome
+        req.reason = reason
+        header = req.block.header
+        header.status = (TxnStatus.REJECTED if outcome == "rejected"
+                         else TxnStatus.TIMED_OUT)
+        header.abort_reason = reason
+        req.block.done_at_ns = self.engine.now
+        req.done_event.succeed(outcome)
+
+    # -- completion from the chip -------------------------------------------
+    def _note_done(self, block) -> None:
+        req = self._by_txn.pop(block.txn_id, None)
+        if req is None:
+            return    # not front-end traffic (direct submit)
+        self.scheduler.note_done(req.home)
+        req.outcome = ("committed"
+                       if block.header.status is TxnStatus.COMMITTED
+                       else "aborted")
+        req.reason = block.header.abort_reason
+        req.done_event.succeed(req.outcome)
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> FrontendReport:
+        """Advance the whole machine, then summarise the serving path."""
+        if not self._attached:
+            raise FrontendError("front-end is detached from its system")
+        run_kwargs = {"until": until}
+        if max_events is not None:
+            run_kwargs["max_events"] = max_events
+        try:
+            self.db.run(**run_kwargs)
+        except TypeError:
+            # BionicCluster.run has no max_events watchdog parameter
+            self.db.run(until=until)
+        self._check_processes()
+        drained = not self.engine._heap
+        if drained:
+            stuck = {f"{s.config.name}/{req.index}": req.block.header.status.value
+                     for s in self.sessions for req in s.requests
+                     if req.outcome is None}
+            if stuck:
+                raise StuckTransactionError(
+                    f"{len(stuck)} front-end request(s) never reached a "
+                    f"terminal outcome after the event heap drained",
+                    stuck=stuck)
+        return self.report()
+
+    def _check_processes(self) -> None:
+        """Surface any exception that killed a front-end process."""
+        for proc in self._procs:
+            if proc.triggered and proc._exc is not None:
+                raise proc._exc
+
+    def report(self) -> FrontendReport:
+        return FrontendReport(
+            elapsed_ns=self.engine.now - self._start_ns,
+            sessions=[s.stats for s in self.sessions],
+            nic_delivered=self.nic.delivered,
+            nic_dropped=self.nic.dropped,
+            admission_shed={
+                "rate": self.admission._shed_rate.value,
+                "backlog": self.admission._shed_backlog.value,
+            },
+            dispatched=self.scheduler._dispatched.value,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def detach(self) -> None:
+        """Release the attach point so another front-end can take over."""
+        if self._attached:
+            self.db.detach_frontend(self)
+            self._attached = False

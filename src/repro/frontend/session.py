@@ -1,0 +1,178 @@
+"""Client sessions: who is sending, how fast, and what they do on failure.
+
+A :class:`ClientSession` is one tenant's connection through the
+front-end.  It owns an arrival process (open-loop Poisson that never
+waits, or closed-loop with a concurrency window and think time), a
+fair-queuing weight, an optional per-request deadline, a retry policy
+for shed requests, and per-session accounting
+(:class:`~repro.frontend.slo.SessionStats`).
+
+Blocks are created lazily at their arrival instants — exactly as a
+network client would deliver them — via the session's ``factory``,
+which has the same shape the open-loop client has always used:
+``factory(i) -> (TransactionBlock, home_worker)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from ..errors import ConfigError
+from .slo import SessionStats
+
+__all__ = ["SessionConfig", "ClientSession", "Request"]
+
+
+class Request:
+    """One in-flight unit of client work: a block plus serving metadata."""
+
+    __slots__ = ("session", "index", "block", "home", "deadline_at_ns",
+                 "created_at_ns", "outcome", "reason", "done_event", "seq",
+                 "attempts")
+
+    def __init__(self, session: "ClientSession", index: int, block,
+                 home: int, created_at_ns: float,
+                 deadline_at_ns: Optional[float], done_event):
+        self.session = session
+        self.index = index
+        self.block = block
+        self.home = home
+        self.created_at_ns = created_at_ns
+        self.deadline_at_ns = deadline_at_ns
+        self.outcome: Optional[str] = None    # committed|aborted|rejected|timed_out
+        self.reason: Optional[str] = None
+        self.done_event = done_event
+        self.seq = 0
+        self.attempts = 0
+
+    def expired(self, now_ns: float) -> bool:
+        return self.deadline_at_ns is not None and now_ns > self.deadline_at_ns
+
+    def reset_for_retry(self, engine) -> None:
+        """Clear the previous shed outcome so the block can re-enter.
+
+        The deadline is *not* extended: SLOs are end-to-end, so retries
+        race the original clock.
+        """
+        self.block.reset_for_replay()
+        self.block.submitted_at_ns = None
+        self.block.done_at_ns = None
+        self.outcome = None
+        self.reason = None
+        self.done_event = engine.event()
+
+
+@dataclass
+class SessionConfig:
+    name: str = "client"
+    #: "open" = Poisson arrivals that never wait (needs ``rate_tps``);
+    #: "closed" = a window of ``concurrency`` outstanding requests with
+    #: exponential think time between completions
+    arrival: str = "open"
+    rate_tps: Optional[float] = None
+    n_requests: int = 0
+    #: weighted-fair dispatch share relative to other sessions
+    weight: float = 1.0
+    #: per-request SLO deadline, ns from creation; ``None`` = no deadline
+    deadline_ns: Optional[float] = None
+    think_ns: float = 0.0
+    concurrency: int = 1
+    #: retry-with-backoff policy for REJECTED requests (shed by the NIC
+    #: or by admission control); timed-out requests are never retried
+    max_retries: int = 0
+    retry_backoff_ns: float = 20_000.0
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.arrival not in ("open", "closed"):
+            raise ConfigError(f"unknown arrival kind {self.arrival!r}")
+        if self.arrival == "open":
+            if self.rate_tps is None or self.rate_tps <= 0:
+                raise ConfigError(
+                    "open-loop sessions need a positive rate_tps",
+                    rate_tps=self.rate_tps)
+        if self.n_requests < 0:
+            raise ConfigError("n_requests must be >= 0",
+                              n_requests=self.n_requests)
+        if self.weight <= 0:
+            raise ConfigError("weight must be positive", weight=self.weight)
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ConfigError(
+                "deadline_ns must be positive (or None); a zero deadline "
+                "would time out every request at admission",
+                deadline_ns=self.deadline_ns)
+        if self.think_ns < 0:
+            raise ConfigError("think_ns must be >= 0", think_ns=self.think_ns)
+        if self.concurrency < 1:
+            raise ConfigError("concurrency must be >= 1",
+                              concurrency=self.concurrency)
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0",
+                              max_retries=self.max_retries)
+        if self.retry_backoff_ns < 0:
+            raise ConfigError("retry_backoff_ns must be >= 0",
+                              retry_backoff_ns=self.retry_backoff_ns)
+
+
+class ClientSession:
+    """One tenant's traffic source, wired through a FrontEnd."""
+
+    def __init__(self, frontend, session_id: int, config: SessionConfig,
+                 factory: Callable[[int], Tuple[Any, int]]):
+        self.frontend = frontend
+        self.id = session_id
+        self.config = config
+        self.factory = factory
+        self.stats = SessionStats(name=config.name)
+        self.requests = []            # every Request ever generated
+        self._rng = random.Random(config.seed)
+        engine = frontend.engine
+        if config.arrival == "open":
+            proc = engine.process(self._open_loop(),
+                                  name=f"frontend.session.{config.name}")
+            frontend._track(proc)
+        else:
+            counter = iter(range(config.n_requests))
+            for c in range(config.concurrency):
+                proc = engine.process(
+                    self._closed_loop(counter),
+                    name=f"frontend.session.{config.name}.{c}")
+                frontend._track(proc)
+
+    # -- request construction ----------------------------------------------
+    def _make(self, i: int) -> Request:
+        engine = self.frontend.engine
+        block, home = self.factory(i)
+        now = engine.now
+        block.created_at_ns = now
+        deadline = (now + self.config.deadline_ns
+                    if self.config.deadline_ns is not None else None)
+        block.deadline_ns = deadline
+        req = Request(self, i, block, home, now, deadline, engine.event())
+        self.stats.offered += 1
+        self.requests.append(req)
+        return req
+
+    # -- arrival processes ---------------------------------------------------
+    def _open_loop(self):
+        engine = self.frontend.engine
+        gap_ns = 1e9 / self.config.rate_tps
+        for i in range(self.config.n_requests):
+            req = self._make(i)
+            self.frontend._launch(req)
+            yield engine.timeout(self._rng.expovariate(1.0) * gap_ns)
+
+    def _closed_loop(self, counter):
+        engine = self.frontend.engine
+        for i in counter:
+            req = self._make(i)
+            yield from self.frontend._deliver(req)
+            if self.config.think_ns > 0:
+                yield engine.timeout(
+                    self._rng.expovariate(1.0) * self.config.think_ns)
+
+    # -- terminal accounting -------------------------------------------------
+    def _record_terminal(self, req: Request) -> None:
+        self.stats.record(req)

@@ -6,16 +6,23 @@ through network cards", §5.1).  This module models those clients: an
 open-loop generator submits blocks at Poisson arrival times regardless
 of completions, which is what exposes the latency-vs-load hockey stick
 closed-loop benchmarks hide.
+
+Since the front-end subsystem landed, this client is a thin veneer
+over :mod:`repro.frontend`: one open-loop :class:`ClientSession`
+through a *pass-through* front-end (infinite link, no admission, no
+dispatch window), which preserves the historical behaviour — blocks
+reach their home workers at their arrival instants — while sharing
+the session machinery.  The public API is unchanged.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Tuple
 
-from ..core.system import BionicDB, RunReport
-from ..mem.txnblock import TransactionBlock, TxnStatus
+from ..core.system import BionicDB
+from ..mem.txnblock import TransactionBlock
+from ..sim.stats import nearest_rank
 
 __all__ = ["OpenLoopClient", "OpenLoopReport"]
 
@@ -28,6 +35,9 @@ class OpenLoopReport:
     elapsed_ns: float
     latencies_ns: List[float]
 
+    def __post_init__(self):
+        self._sorted_latencies = None   # cached by percentile_ns
+
     @property
     def achieved_tps(self) -> float:
         return self.committed / (self.elapsed_ns * 1e-9) if self.elapsed_ns else 0.0
@@ -39,12 +49,13 @@ class OpenLoopReport:
 
     def percentile_ns(self, p: float) -> float:
         if not self.latencies_ns:
+            if not 0 < p <= 100:
+                raise ValueError("percentile must be in (0, 100]")
             return 0.0
-        if not 0 < p <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        ordered = sorted(self.latencies_ns)
-        rank = max(1, -(-len(ordered) * p // 100))
-        return ordered[int(rank) - 1]
+        if (self._sorted_latencies is None
+                or len(self._sorted_latencies) != len(self.latencies_ns)):
+            self._sorted_latencies = sorted(self.latencies_ns)
+        return nearest_rank(self._sorted_latencies, p)
 
 
 class OpenLoopClient:
@@ -52,7 +63,8 @@ class OpenLoopClient:
 
     def __init__(self, db: BionicDB, seed: int = 1):
         self.db = db
-        self._rng = random.Random(seed)
+        self._seed = seed
+        self._runs = 0
 
     def run(self,
             make_txn: Callable[[int], Tuple[TransactionBlock, int]],
@@ -64,31 +76,29 @@ class OpenLoopClient:
         created lazily at their arrival instants, exactly as a network
         client would deliver them.
         """
+        from ..frontend import FrontEnd, FrontendConfig, SessionConfig
         if offered_tps <= 0:
             raise ValueError("offered rate must be positive")
         db = self.db
-        blocks: List[TransactionBlock] = []
-        mean_gap_ns = 1e9 / offered_tps
-
-        def arrival_process():
-            for i in range(n_txns):
-                block, home = make_txn(i)
-                blocks.append(block)
-                db.submit(block, home)
-                yield db.engine.timeout(self._rng.expovariate(1.0) * mean_gap_ns)
-
-        start_committed = db._committed_total()
-        start_aborted = db._aborted_total()
         start_ns = db.engine.now
-        db.engine.process(arrival_process(), name="open-loop-client")
-        db.run()
-        latencies = [b.done_at_ns - b.submitted_at_ns for b in blocks
-                     if getattr(b, "done_at_ns", None) is not None
-                     and b.header.status is TxnStatus.COMMITTED]
+        # successive run() calls draw fresh but deterministic arrivals
+        seed = self._seed + 7919 * self._runs
+        self._runs += 1
+        frontend = FrontEnd(db, FrontendConfig.passthrough())
+        try:
+            session = frontend.session(
+                make_txn,
+                SessionConfig(name="open-loop-client", arrival="open",
+                              rate_tps=offered_tps, n_requests=n_txns,
+                              seed=seed))
+            frontend.run()
+        finally:
+            frontend.detach()
+        stats = session.stats
         return OpenLoopReport(
             offered_tps=offered_tps,
-            committed=db._committed_total() - start_committed,
-            aborted=db._aborted_total() - start_aborted,
+            committed=stats.committed,
+            aborted=stats.aborted,
             elapsed_ns=db.engine.now - start_ns,
-            latencies_ns=latencies,
+            latencies_ns=list(stats.latencies_ns),
         )

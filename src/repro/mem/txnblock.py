@@ -31,6 +31,15 @@ class TxnStatus(enum.Enum):
     RUNNING = "running"
     COMMITTED = "committed"
     ABORTED = "aborted"
+    #: shed by the front-end (NIC overflow, rate limit, backlog bound)
+    #: before ever reaching a worker
+    REJECTED = "rejected"
+    #: deadline expired while queued in the front-end; never executed
+    TIMED_OUT = "timed_out"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (TxnStatus.PENDING, TxnStatus.RUNNING)
 
 
 @dataclass(frozen=True)
@@ -100,6 +109,13 @@ class TransactionBlock:
         self.base = dram.heap.alloc(self.layout.total_cells)
         self.header = BlockHeader(txn_id=txn_id, proc_id=proc_id)
         dram.direct_write(self.base, self.header)
+        self.home_worker = 0
+        # Lifecycle timestamps (ns of simulated time), stamped by the
+        # front-end / system as the block moves through the serving path.
+        self.created_at_ns: Optional[float] = None    # client built it
+        self.submitted_at_ns: Optional[float] = None  # entered a worker
+        self.done_at_ns: Optional[float] = None       # reached a terminal state
+        self.deadline_ns: Optional[float] = None      # absolute SLO deadline
 
     # The softcore's base address register points at the first input cell.
     @property

@@ -11,7 +11,9 @@ from .resources import (
     VIRTEX5_LX330,
     per_worker_costs,
 )
-from .stats import Counter, Histogram, StatsRegistry
+from .stats import (
+    Counter, Histogram, PercentileHistogram, StatsRegistry, nearest_rank,
+)
 from .sync import Fifo, Gate, Mutex, TokenPool
 from .trace import NULL_TRACER, TraceEvent, Tracer
 
@@ -22,7 +24,8 @@ __all__ = [
     "CpuPowerModel", "FpgaPowerModel", "PowerReport",
     "HC2_INFRASTRUCTURE", "ResourceLedger", "ResourceVector",
     "VIRTEX5_LX330", "per_worker_costs",
-    "Counter", "Histogram", "StatsRegistry",
+    "Counter", "Histogram", "PercentileHistogram", "StatsRegistry",
+    "nearest_rank",
     "Fifo", "Gate", "Mutex", "TokenPool",
     "NULL_TRACER", "TraceEvent", "Tracer",
 ]

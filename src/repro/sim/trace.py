@@ -78,10 +78,17 @@ class Tracer:
                 and since_ns <= e.time_ns <= until_ns]
 
     def format(self, events: Optional[Sequence[TraceEvent]] = None,
-               limit: Optional[int] = None) -> str:
+               limit: Optional[int] = None, tail: bool = False) -> str:
+        """Render events as aligned columns.
+
+        ``limit`` truncates the listing; with ``tail=True`` the *last*
+        ``limit`` events are kept instead of the first — the ones
+        immediately before a failure, which is usually what a
+        post-mortem needs.
+        """
         events = list(self.events if events is None else events)
         if limit is not None:
-            events = events[:limit]
+            events = events[-limit:] if tail else events[:limit]
         lines = [f"{e.time_ns:12.1f} ns  {e.category:<9s} {e.source:<16s} "
                  f"{e.message}" for e in events]
         if self.dropped:
@@ -94,10 +101,15 @@ class Tracer:
 
 
 class _NullTracer:
-    """The default: tracing disabled, every call a cheap no-op."""
+    """The default: tracing disabled, every call a cheap no-op.
+
+    ``events`` is an immutable empty tuple on purpose: a class-level
+    mutable list here would be shared by every system using the null
+    tracer, so one accidental append would leak into all of them.
+    """
 
     enabled = False
-    events: List[TraceEvent] = []
+    events: Sequence[TraceEvent] = ()
 
     def bind_clock(self, _clock) -> None:
         pass

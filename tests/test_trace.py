@@ -89,7 +89,27 @@ class TestTracer:
     def test_disabled_by_default_costs_nothing(self):
         db = BionicDB(BionicConfig(n_workers=1))
         assert not db.tracer.enabled
-        assert db.tracer.events == []
+        assert len(db.tracer.events) == 0
+
+    def test_null_tracer_events_are_immutable(self):
+        # Regression: _NullTracer.events used to be a class-level list —
+        # one caller appending to it polluted every disabled tracer.
+        a = BionicDB(BionicConfig(n_workers=1)).tracer
+        b = BionicDB(BionicConfig(n_workers=1)).tracer
+        with pytest.raises((TypeError, AttributeError)):
+            a.events.append("junk")
+        assert len(b.events) == 0
+
+    def test_format_tail_shows_latest_events(self):
+        db, tracer = traced_db()
+        run_one(db)
+        head = tracer.format(limit=3)
+        tail = tracer.format(limit=3, tail=True)
+        assert len(head.splitlines()) == 3
+        assert len(tail.splitlines()) == 3
+        assert head != tail
+        last_line = tracer.format().splitlines()[-1]
+        assert tail.splitlines()[-1] == last_line
 
     def test_clear(self):
         db, tracer = traced_db()
