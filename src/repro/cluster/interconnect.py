@@ -48,7 +48,9 @@ class HierarchicalInterconnect:
                  intra_hop_cycles: float = 3.0,
                  inter_latency_ns: float = 1500.0,
                  inter_issue_ns: float = 50.0,
-                 stats: Optional[StatsRegistry] = None):
+                 stats: Optional[StatsRegistry] = None,
+                 faults=None,
+                 stall_max_ns: float = 50_000.0):
         self.engine = engine
         self.clock = clock
         self.node_of = list(node_of)
@@ -60,8 +62,15 @@ class HierarchicalInterconnect:
         self.links = [CommLink(engine, w) for w in range(self.n_workers)]
         self._lane_free: Dict[tuple, float] = {}
         self.stats = stats or StatsRegistry()
+        #: optional repro.faults.FaultPlan; inter-node messages can be
+        #: lost (interconnect.drop) or stalled (interconnect.stall, by
+        #: up to ``stall_max_ns`` drawn from the plan's RNG)
+        self.faults = faults
+        self.stall_max_ns = stall_max_ns
         self._sent = self.stats.counter("comm.messages")
         self._inter = self.stats.counter("comm.internode_messages")
+        self._fault_lost = self.stats.counter("comm.fault_lost")
+        self._fault_stalled = self.stats.counter("comm.fault_stalled")
 
     def link(self, worker_id: int) -> CommLink:
         return self.links[worker_id]
@@ -106,6 +115,17 @@ class HierarchicalInterconnect:
             self._lane_free[lane] = depart + self.inter_issue_ns
             arrive = depart + self.inter_latency_ns
             self._inter.add()
+            if self.faults is not None:
+                from ..faults.plan import LINK_DROP, LINK_STALL
+                if self.faults.fires(LINK_DROP, now):
+                    # lost on the wire: never delivered.  The waiting
+                    # initiator strands; the PR-1 stuck-transaction
+                    # check surfaces the loss instead of a silent hang.
+                    self._fault_lost.add()
+                    return
+                if self.faults.fires(LINK_STALL, now):
+                    self._fault_stalled.add()
+                    arrive += self.faults.draw() * self.stall_max_ns
         else:
             lane = (kind, src, dst)
             depart = max(now, self._lane_free.get(lane, 0.0))

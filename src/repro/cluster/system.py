@@ -37,7 +37,8 @@ class BionicCluster:
 
     def __init__(self, n_nodes: int = 2,
                  config: Optional[BionicConfig] = None,
-                 inter_latency_ns: float = 1500.0):
+                 inter_latency_ns: float = 1500.0,
+                 faults=None):
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         self.config = config or BionicConfig()
@@ -58,7 +59,8 @@ class BionicCluster:
         self.interconnect = HierarchicalInterconnect(
             self.engine, self.clock, node_of,
             intra_hop_cycles=cfg.comm_hop_cycles,
-            inter_latency_ns=inter_latency_ns, stats=self.stats)
+            inter_latency_ns=inter_latency_ns, stats=self.stats,
+            faults=faults)
 
         # one DRAM per chip — shared nothing
         self.drams: List[DramModel] = [

@@ -28,7 +28,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..comm.channels import Crossbar
 from ..dora.worker import PartitionWorker
-from ..errors import FrontendError, StuckTransactionError, SubmissionError
+from ..errors import (
+    FrontendError, SimulatedCrash, StuckTransactionError, SubmissionError,
+)
 from ..isa.instructions import Program
 from ..mem.schema import Catalog, IndexKind, TableSchema
 from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
@@ -303,6 +305,32 @@ class BionicDB:
     def pending_blocks(self) -> List[TransactionBlock]:
         """Blocks submitted but not yet finished (diagnostics)."""
         return list(self._inflight.values())
+
+    # -- fault injection (repro.faults) --------------------------------------
+    def crash_after_events(self, n: int) -> None:
+        """Arm a whole-machine crash ``n`` fired events from now: the
+        next :meth:`run` raises :class:`SimulatedCrash` mid-batch, with
+        in-flight transactions stranded exactly as a power cut would
+        strand them.  Durable artifacts written before the crash are the
+        only thing recovery gets."""
+        if n < 1:
+            raise SubmissionError("crash_after_events needs n >= 1", n=n)
+        self.engine.crash_at_fired = self.engine.events_fired + n
+
+    def crash_worker(self, worker: int) -> None:
+        """Kill one partition worker's softcore mid-flight.
+
+        The dead worker's process fails with :class:`SimulatedCrash`
+        the next time the engine advances, and :meth:`run` surfaces it
+        through the health check — a dead partition never masquerades
+        as a quiet run."""
+        if not 0 <= worker < self.config.n_workers:
+            raise SubmissionError("crash_worker out of range",
+                                  worker=worker,
+                                  n_workers=self.config.n_workers)
+        proc = self.workers[worker].softcore._proc
+        proc.kill(SimulatedCrash("injected worker crash",
+                                 site="worker.crash", worker=worker))
 
     def run_all(self, blocks: Sequence[TransactionBlock],
                 workers: Optional[Sequence[int]] = None) -> RunReport:

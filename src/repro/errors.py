@@ -19,6 +19,8 @@ The hierarchy::
     ├── CorruptionError        durable artifact failed its integrity check
     ├── StuckTransactionError  simulation drained with live transactions
     ├── FrontendError          network front-end misuse (double attach, …)
+    ├── FaultError             fault-injection plan misuse (unknown site, …)
+    ├── SimulatedCrash         an injected failure killed the simulated machine
     └── (rebased domain errors: IsaError, SchemaError, SimulationError,
          ExecutionError, RecoveryError, ClusterError)
 
@@ -41,6 +43,8 @@ __all__ = [
     "CorruptionError",
     "StuckTransactionError",
     "FrontendError",
+    "FaultError",
+    "SimulatedCrash",
 ]
 
 
@@ -103,3 +107,19 @@ class FrontendError(BionicError, RuntimeError):
     """The network front-end was misused: attaching a second front-end
     to a system that already has one, dispatching through a detached
     front-end, and similar host-side wiring mistakes."""
+
+
+class FaultError(BionicError, ValueError):
+    """A fault-injection plan was misconfigured: unknown injection
+    site, invalid trigger predicate, appender reuse after close, …"""
+
+
+class SimulatedCrash(BionicError, RuntimeError):
+    """An injected fault killed the simulated machine.
+
+    Raised by fault-injection hooks (:mod:`repro.faults`) at the instant
+    the configured crash fires — mid-append, before/after an atomic
+    rename, at an engine event count.  Once a machine has crashed, every
+    subsequent durable write on that machine re-raises this (the disk is
+    gone along with the host); harnesses catch it at the top level and
+    move on to recovery."""

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and crash-recovery drills.
+
+``repro.faults`` makes failure a first-class, *tested* behaviour of the
+reproduction: a seeded :class:`FaultPlan` decides when torn writes,
+bit flips, packet loss, link stalls and machine crashes happen, and the
+:class:`RecoveryDrill` harness proves the §4.8 checkpoint +
+command-log recovery path actually recovers — every acknowledged
+transaction survives, and the recovered state matches an uninterrupted
+golden run.
+
+Run a drill sweep from the command line::
+
+    python -m repro.faults.drill --seeds 200
+"""
+
+from .plan import (
+    APPEND_BIT_FLIP, CRASH_AFTER_RENAME, CRASH_BEFORE_RENAME, FaultPlan,
+    LINK_DROP, LINK_STALL, MACHINE_CRASH, NIC_CORRUPT, NIC_DROP,
+    NIC_DUPLICATE, SITES, TORN_APPEND, Trigger, WORKER_CRASH,
+)
+_DRILL_NAMES = ("DrillConfig", "DrillResult", "RecoveryDrill", "run_sweep")
+
+
+def __getattr__(name):
+    # lazy: `python -m repro.faults.drill` must not import the drill
+    # module twice (runpy), and plain fault injection must not pay for
+    # the workload imports the drill pulls in
+    if name in _DRILL_NAMES:
+        from . import drill
+        return getattr(drill, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "FaultPlan", "Trigger", "SITES",
+    "TORN_APPEND", "APPEND_BIT_FLIP",
+    "CRASH_BEFORE_RENAME", "CRASH_AFTER_RENAME",
+    "NIC_DROP", "NIC_DUPLICATE", "NIC_CORRUPT",
+    "LINK_DROP", "LINK_STALL",
+    "MACHINE_CRASH", "WORKER_CRASH",
+    "DrillConfig", "DrillResult", "RecoveryDrill", "run_sweep",
+]

@@ -65,13 +65,17 @@ class FrontendConfig:
 class FrontEnd:
     """The network front-end for one BionicDB (or cluster)."""
 
-    def __init__(self, db, config: Optional[FrontendConfig] = None):
+    def __init__(self, db, config: Optional[FrontendConfig] = None,
+                 faults=None):
         self.db = db
         self.config = config or FrontendConfig()
         self.engine = db.engine
+        #: optional repro.faults.FaultPlan threaded into the NIC
+        self.faults = faults
         n_workers = getattr(db, "total_workers", None) or db.config.n_workers
         self.nic = Nic(self.engine, self.config.nic, stats=db.stats,
-                       name="frontend.nic")
+                       name="frontend.nic", faults=faults)
+        self._dup_discarded = db.stats.counter("frontend.dup_discarded")
         self.admission = AdmissionController(self.engine,
                                              self.config.admission,
                                              stats=db.stats)
@@ -140,12 +144,18 @@ class FrontEnd:
         req.session._record_terminal(req)
 
     def _pump(self):
-        """Drain the NIC RX queue: admission control, then dispatch."""
+        """Drain the NIC RX queue: dedup, admission control, dispatch."""
         rx_ns = self.nic.config.rx_process_ns
         while True:
             req = yield self.nic.rx.get()
             if rx_ns > 0:
                 yield self.engine.timeout(rx_ns)
+            if req.in_system or req.outcome is not None:
+                # an injected duplicate of an attempt already accepted
+                # (or already terminal) — dedup as a host stack would
+                self._dup_discarded.add()
+                continue
+            req.in_system = True
             if req.expired(self.engine.now):
                 self._finish(req, "timed_out", REASON_DEADLINE)
                 continue

@@ -80,16 +80,22 @@ class Nic:
     """
 
     def __init__(self, engine: Engine, config: Optional[NicConfig] = None,
-                 stats: Optional[StatsRegistry] = None, name: str = "nic"):
+                 stats: Optional[StatsRegistry] = None, name: str = "nic",
+                 faults=None):
         self.engine = engine
         self.config = config or NicConfig()
         self.stats = stats or StatsRegistry()
         self.name = name
+        #: optional repro.faults.FaultPlan; None = perfect link
+        self.faults = faults
         self.rx: Fifo = Fifo(engine, name=f"{name}.rx")
         self._busy_until = 0.0   # when the shared wire next idles
         self._delivered = self.stats.counter(f"{name}.delivered")
         self._dropped = self.stats.counter(f"{name}.rx_dropped")
         self._bytes = self.stats.counter(f"{name}.bytes")
+        self._fault_lost = self.stats.counter(f"{name}.fault_lost")
+        self._fault_corrupted = self.stats.counter(f"{name}.fault_corrupted")
+        self._fault_duplicated = self.stats.counter(f"{name}.fault_duplicated")
 
     @property
     def delivered(self) -> int:
@@ -123,7 +129,13 @@ class Nic:
         """Deliver one request over the link; yields simulated time.
 
         Returns True when the request landed in the RX queue, False
-        when the bounded ring was full and the packet was dropped.
+        when the packet was lost — bounded ring full, or an injected
+        wire loss / in-flight corruption (the RX checksum discards a
+        damaged packet, so both look the same to the sender).
+
+        An injected duplication delivers the packet twice; the
+        front-end pump detects and discards the extra copy, as a host
+        network stack dedups retransmits.
         """
         cfg = self.config
         size = self.packet_bytes(request)
@@ -134,10 +146,27 @@ class Nic:
         arrival = self._busy_until + cfg.propagation_ns
         if arrival > now:
             yield self.engine.timeout(arrival - now)
+        duplicate = False
+        if self.faults is not None:
+            from ..faults.plan import NIC_CORRUPT, NIC_DROP, NIC_DUPLICATE
+            now = self.engine.now
+            if self.faults.fires(NIC_DROP, now):
+                self._fault_lost.add()
+                return False
+            if self.faults.fires(NIC_CORRUPT, now):
+                self._fault_corrupted.add()
+                return False
+            duplicate = self.faults.fires(NIC_DUPLICATE, now)
         if (cfg.rx_queue_depth is not None
                 and len(self.rx) >= cfg.rx_queue_depth):
             self._dropped.add()
             return False
         self.rx.put(request)
         self._delivered.add()
+        if duplicate:
+            # the second copy competes for ring space like any packet
+            if (cfg.rx_queue_depth is None
+                    or len(self.rx) < cfg.rx_queue_depth):
+                self.rx.put(request)
+                self._fault_duplicated.add()
         return True

@@ -30,7 +30,7 @@ class Request:
 
     __slots__ = ("session", "index", "block", "home", "deadline_at_ns",
                  "created_at_ns", "outcome", "reason", "done_event", "seq",
-                 "attempts")
+                 "attempts", "in_system")
 
     def __init__(self, session: "ClientSession", index: int, block,
                  home: int, created_at_ns: float,
@@ -46,6 +46,9 @@ class Request:
         self.done_event = done_event
         self.seq = 0
         self.attempts = 0
+        #: True once the pump has accepted this attempt — a second RX
+        #: copy of the same attempt (an injected duplicate) is discarded
+        self.in_system = False
 
     def expired(self, now_ns: float) -> bool:
         return self.deadline_at_ns is not None and now_ns > self.deadline_at_ns
@@ -61,6 +64,7 @@ class Request:
         self.block.done_at_ns = None
         self.outcome = None
         self.reason = None
+        self.in_system = False
         self.done_event = engine.event()
 
 

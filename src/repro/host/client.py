@@ -18,9 +18,16 @@ __all__ = ["DurableClient"]
 
 
 class DurableClient:
-    def __init__(self, db: BionicDB, log: Optional[CommandLog] = None):
+    def __init__(self, db: BionicDB, log: Optional[CommandLog] = None,
+                 path=None, faults=None):
+        """Pass ``path`` (and optionally a fault plan) to log
+        crash-consistently: every record is flushed to disk the moment
+        it is appended or finalised, so an ack implies durability."""
         self.db = db
-        self.log = log or CommandLog()
+        if log is not None and path is not None:
+            raise ValueError("pass a CommandLog or a path, not both")
+        self.log = log if log is not None else CommandLog(path=path,
+                                                          faults=faults)
 
     def execute(self, proc_id: int, inputs: Sequence,
                 layout: Optional[BlockLayout] = None,

@@ -18,7 +18,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..errors import CorruptionError
 from ..mem.txnblock import TransactionBlock, TxnStatus
-from .durable import read_frames, write_frames
+from .durable import FrameAppender, read_frames, write_frames
 
 __all__ = ["LogRecord", "CommandLog"]
 
@@ -65,16 +65,33 @@ class CommandLog:
     Records are appended *before* execution (so the input survives a
     crash) and finalised afterwards with the commit state.  ``save`` /
     ``load`` move the log to and from durable storage.
+
+    Pass ``path`` to make the log *crash-consistent*: every
+    ``append_pending`` and ``finalize`` immediately appends one framed,
+    CRC-guarded record to the file (finalisation appends a second
+    record for the same txn; load keeps the last), so a crash tears at
+    most the record being written and ``load(strict=False)`` salvages
+    everything before it.  Without a path, durability is explicit via
+    ``save`` (the historical whole-file rewrite).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path=None, faults=None, fsync: bool = False) -> None:
         self._records: List[LogRecord] = []
         self._index: dict = {}
         #: True when a non-strict load salvaged a damaged tail
         self.truncated: bool = False
+        self._appender: Optional[FrameAppender] = None
+        if path is not None:
+            self._appender = FrameAppender(path, LOG_MAGIC, faults=faults,
+                                           fsync=fsync)
 
     def __len__(self) -> int:
         return len(self._records)
+
+    def close(self) -> None:
+        """Close the incremental persistence file, if any."""
+        if self._appender is not None:
+            self._appender.close()
 
     def append_pending(self, block: TransactionBlock) -> None:
         if block.txn_id in self._index:
@@ -82,6 +99,8 @@ class CommandLog:
         record = LogRecord.from_block(block)
         self._index[block.txn_id] = len(self._records)
         self._records.append(record)
+        if self._appender is not None:
+            self._appender.append(record)
 
     def finalize(self, block: TransactionBlock) -> None:
         """Record the commit state after execution."""
@@ -90,7 +109,7 @@ class CommandLog:
         except KeyError:
             raise ValueError(f"txn {block.txn_id} was never logged") from None
         old = self._records[pos]
-        self._records[pos] = LogRecord(
+        record = LogRecord(
             txn_id=old.txn_id, proc_id=old.proc_id, inputs=old.inputs,
             home_worker=old.home_worker,
             layout_inputs=old.layout_inputs, layout_outputs=old.layout_outputs,
@@ -99,6 +118,9 @@ class CommandLog:
             status=block.header.status.value,
             commit_ts=block.header.commit_ts,
         )
+        self._records[pos] = record
+        if self._appender is not None:
+            self._appender.append(record)
 
     def records(self) -> Sequence[LogRecord]:
         return tuple(self._records)
@@ -134,6 +156,9 @@ class CommandLog:
         tail-corrupted log (the right recovery posture after losing
         power mid-append) and marks the instance ``truncated``.
         Legacy whole-file-pickle logs (pre-framing) are still readable.
+
+        An incrementally-written log may hold several frames for one
+        txn (pending, then finalised); the last one wins.
         """
         try:
             records, intact = read_frames(path, LOG_MAGIC, strict=strict)
@@ -150,8 +175,12 @@ class CommandLog:
         log.truncated = not intact
         for i, record in enumerate(records):
             cls._validate_record(record, i, path)
-            log._index[record.txn_id] = len(log._records)
-            log._records.append(record)
+            pos = log._index.get(record.txn_id)
+            if pos is None:
+                log._index[record.txn_id] = len(log._records)
+                log._records.append(record)
+            else:
+                log._records[pos] = record
         return log
 
     @staticmethod

@@ -19,6 +19,13 @@ The format is deliberately simple::
 
     MAGIC(4) VERSION(1)
     repeat: LEN(4, big-endian) CRC32(4, of payload) PAYLOAD(LEN)
+
+Both write paths — whole-artifact :func:`write_frames` and the
+incremental :class:`FrameAppender` — accept an optional
+:class:`~repro.faults.FaultPlan`; when one is armed, a save can be
+killed before or after the atomic rename and an append can be torn at
+an arbitrary byte or bit-flipped, which is exactly the damage the
+salvage side of :func:`read_frames` exists to survive.
 """
 
 from __future__ import annotations
@@ -29,21 +36,29 @@ import struct
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
-from ..errors import CorruptionError
+from ..errors import CorruptionError, FaultError
 
 __all__ = [
-    "atomic_write_bytes", "write_frames", "read_frames", "FORMAT_VERSION",
+    "atomic_write_bytes", "write_frames", "read_frames", "FrameAppender",
+    "FORMAT_VERSION",
 ]
 
 FORMAT_VERSION = 1
 _FRAME_HEADER = struct.Struct(">II")  # length, crc32
 
 
-def atomic_write_bytes(path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (tmp + fsync + replace)."""
+def atomic_write_bytes(path, data: bytes, faults=None) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace).
+
+    With a fault plan armed, the save can crash *before* the rename
+    (the previous artifact survives; the tmp file is left behind, as a
+    real crash would leave it) or *after* it (the new artifact is
+    already in place)."""
     path = Path(path)
+    if faults is not None:
+        faults.check_alive()
     fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".",
                                prefix=path.name + ".", suffix=".tmp")
     try:
@@ -51,27 +66,126 @@ def atomic_write_bytes(path, data: bytes) -> None:
             f.write(data)
             f.flush()
             os.fsync(f.fileno())
-        os.replace(tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
+    if faults is not None:
+        from ..faults.plan import CRASH_AFTER_RENAME, CRASH_BEFORE_RENAME
+        if faults.fires(CRASH_BEFORE_RENAME):
+            raise faults.crash(CRASH_BEFORE_RENAME, artifact=path.name)
+        os.replace(tmp, path)
+        if faults.fires(CRASH_AFTER_RENAME):
+            raise faults.crash(CRASH_AFTER_RENAME, artifact=path.name)
+        return
+    os.replace(tmp, path)
 
 
-def write_frames(path, magic: bytes, objects: List[Any]) -> None:
+def _pack_frame(obj: Any) -> bytes:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME_HEADER.pack(len(payload),
+                              zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def write_frames(path, magic: bytes, objects: List[Any],
+                 faults=None) -> None:
     """Pickle each object into a CRC-guarded frame and atomically write
     the whole artifact."""
     if len(magic) != 4:
         raise ValueError("magic must be 4 bytes")
     parts = [magic, bytes([FORMAT_VERSION])]
-    for obj in objects:
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        parts.append(_FRAME_HEADER.pack(len(payload),
-                                        zlib.crc32(payload) & 0xFFFFFFFF))
-        parts.append(payload)
-    atomic_write_bytes(path, b"".join(parts))
+    parts.extend(_pack_frame(obj) for obj in objects)
+    atomic_write_bytes(path, b"".join(parts), faults=faults)
+
+
+class FrameAppender:
+    """Incremental framed writer: one flushed frame per append.
+
+    Unlike :func:`write_frames` (which rewrites the whole artifact), an
+    appender persists records as they happen, so a crash mid-append
+    tears at most the frame being written — the salvage mode of
+    :func:`read_frames` recovers everything before it.  This is the
+    write-side discipline a command log needs.
+
+    The appender owns the file from creation: it refuses to append to
+    an existing non-empty file (whose tail it cannot vouch for) unless
+    ``overwrite=True`` truncates it first.
+
+    ``fsync`` controls whether every append also fsyncs; the simulated
+    fault model only needs the flush (the host process never actually
+    dies), so it defaults off.
+    """
+
+    def __init__(self, path, magic: bytes, faults=None,
+                 overwrite: bool = True, fsync: bool = False):
+        if len(magic) != 4:
+            raise ValueError("magic must be 4 bytes")
+        self.path = Path(path)
+        self.magic = magic
+        self.faults = faults
+        self.fsync = fsync
+        if not overwrite and self.path.exists() and self.path.stat().st_size:
+            raise FaultError(
+                "appender refuses an existing non-empty file: its tail "
+                "may be torn; load + rewrite instead",
+                artifact=self.path.name)
+        self._f = open(self.path, "wb")
+        self._f.write(magic + bytes([FORMAT_VERSION]))
+        self._f.flush()
+        if fsync:
+            os.fsync(self._f.fileno())
+        self.closed = False
+
+    def append(self, obj: Any) -> None:
+        """Serialise one frame and flush it to disk.
+
+        Fault sites: ``durable.torn_append`` cuts the frame at a drawn
+        byte offset and crashes; ``durable.append_bit_flip`` flips a
+        drawn bit (header or payload — CRC or parse catches it at load)
+        and crashes."""
+        if self.closed:
+            raise FaultError("append on a closed appender",
+                             artifact=self.path.name)
+        faults = self.faults
+        if faults is not None:
+            faults.check_alive()
+        frame = _pack_frame(obj)
+        if faults is not None:
+            from ..faults.plan import APPEND_BIT_FLIP, TORN_APPEND
+            if faults.fires(TORN_APPEND):
+                cut = faults.draw_int(0, len(frame) - 1)
+                self._f.write(frame[:cut])
+                self._f.flush()
+                raise faults.crash(TORN_APPEND, artifact=self.path.name,
+                                   cut_at=cut, frame_bytes=len(frame))
+            if faults.fires(APPEND_BIT_FLIP):
+                bit = faults.draw_int(0, len(frame) * 8 - 1)
+                damaged = bytearray(frame)
+                damaged[bit // 8] ^= 1 << (bit % 8)
+                self._f.write(bytes(damaged))
+                self._f.flush()
+                raise faults.crash(APPEND_BIT_FLIP, artifact=self.path.name,
+                                   flipped_bit=bit)
+        self._f.write(frame)
+        self._f.flush()
+        if self.fsync:
+            os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        if not self.closed:
+            self._f.flush()
+            if self.fsync:
+                os.fsync(self._f.fileno())
+            self._f.close()
+            self.closed = True
+
+    def __enter__(self) -> "FrameAppender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def read_frames(path, magic: bytes,

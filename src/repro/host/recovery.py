@@ -11,12 +11,13 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.system import BionicDB
-from ..errors import BionicError, CorruptionError
+from ..errors import BionicError, CorruptionError, StuckTransactionError
 from ..mem.schema import IndexKind
 from ..mem.txnblock import BlockLayout, TxnStatus
+from ..sim.engine import SimulationError
 from .command_log import CommandLog, LogRecord
 from .durable import read_frames, write_frames
 
@@ -38,14 +39,17 @@ class Checkpoint:
     rows: Dict[Tuple[int, int], List[tuple]] = field(default_factory=dict)
     last_commit_ts: int = 0
 
-    def save(self, path) -> None:
+    def save(self, path, faults=None) -> None:
         """Atomic, checksummed save: one frame for the commit timestamp
         plus one frame per (table, partition) — so a corrupt partition
-        image names itself instead of poisoning the whole image."""
+        image names itself instead of poisoning the whole image.
+
+        ``faults`` threads a :class:`~repro.faults.FaultPlan` into the
+        atomic-replace path (crash before/after the rename)."""
         frames: List[tuple] = [("meta", self.last_commit_ts)]
         frames.extend(("rows", key, items)
                       for key, items in sorted(self.rows.items()))
-        write_frames(path, CKPT_MAGIC, frames)
+        write_frames(path, CKPT_MAGIC, frames, faults=faults)
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
@@ -53,9 +57,15 @@ class Checkpoint:
             frames, _intact = read_frames(path, CKPT_MAGIC, strict=True)
         except CorruptionError as exc:
             if exc.details.get("expected") == CKPT_MAGIC:
-                legacy = cls._load_legacy(path)
-                if legacy is not None:
-                    return legacy
+                try:
+                    return cls._load_legacy(path)
+                except CorruptionError as legacy_exc:
+                    raise CorruptionError(
+                        "neither a framed checkpoint nor a readable "
+                        "legacy pickle",
+                        artifact=Path(path).name,
+                        framed_error=str(exc),
+                        legacy_error=str(legacy_exc)) from exc
             raise
         if not frames or frames[0][0] != "meta":
             raise CorruptionError("checkpoint missing meta frame",
@@ -71,12 +81,33 @@ class Checkpoint:
 
     @staticmethod
     def _load_legacy(path) -> "Checkpoint":
-        """Best-effort read of the pre-framing (rows, ts) pickle."""
+        """Read the pre-framing (rows, ts) pickle.
+
+        Only unpickling and I/O failures are caught — and re-raised as
+        :class:`CorruptionError` naming the original failure — so a
+        genuine bug (e.g. a bad patch to this loader) still surfaces
+        instead of being silently swallowed."""
+        artifact = Path(path).name
         try:
             with open(Path(path), "rb") as f:
-                rows, last_ts = pickle.load(f)
-        except Exception:
-            return None
+                obj = pickle.load(f)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError) as exc:
+            # the pickle module's documented failure modes, plus OSError
+            raise CorruptionError("legacy checkpoint pickle failed to load",
+                                  artifact=artifact,
+                                  cause=f"{type(exc).__name__}: {exc}") from exc
+        try:
+            rows, last_ts = obj
+        except (TypeError, ValueError) as exc:
+            raise CorruptionError(
+                "legacy checkpoint is not a (rows, last_commit_ts) pair",
+                artifact=artifact, got=type(obj).__name__) from exc
+        if not isinstance(rows, dict) or not isinstance(last_ts, int):
+            raise CorruptionError(
+                "legacy checkpoint pair has unexpected types",
+                artifact=artifact, rows_type=type(rows).__name__,
+                ts_type=type(last_ts).__name__)
         return Checkpoint(rows=rows, last_commit_ts=last_ts)
 
 
@@ -120,16 +151,29 @@ class RecoveryManager:
                 n += 1
         return n
 
-    def replay(self, log: CommandLog) -> int:
+    def replay(self, log: CommandLog, after_ts: int = 0,
+               max_events_per_txn: Optional[int] = 2_000_000) -> int:
         """Re-execute committed blocks in commit-timestamp order.
 
         Replay is serial (one block at a time) so the re-execution
         reproduces the original serial commit order exactly; the
         hardware clock is then re-initialised past the latest commit
         timestamp (§4.8).
+
+        ``after_ts`` skips records already captured by the checkpoint
+        being recovered onto (pass ``ckpt.last_commit_ts`` when the
+        checkpoint was taken mid-run), so pre-checkpoint inserts are
+        not replayed into duplicate-key aborts.
+
+        ``max_events_per_txn`` is the recovery watchdog: a
+        corrupt-but-committed record whose re-execution never converges
+        raises :class:`RecoveryError` instead of hanging recovery
+        forever (pass ``None`` to disable — not recommended).
         """
         replayed = 0
         for record in log.committed_in_order():
+            if record.commit_ts <= after_ts:
+                continue
             try:
                 block = self._rebuild_block(record)
                 self.db.submit(block, record.home_worker)
@@ -137,7 +181,18 @@ class RecoveryManager:
                 raise RecoveryError(
                     f"cannot replay txn {record.txn_id}: {exc}",
                     txn_id=record.txn_id, proc_id=record.proc_id) from exc
-            self.db.run()
+            try:
+                self.db.run(max_events=max_events_per_txn)
+            except SimulationError as exc:
+                raise RecoveryError(
+                    f"replay of txn {record.txn_id} exhausted its event "
+                    f"budget — corrupt record or runaway procedure",
+                    txn_id=record.txn_id, proc_id=record.proc_id,
+                    max_events=max_events_per_txn) from exc
+            except StuckTransactionError as exc:
+                raise RecoveryError(
+                    f"replay of txn {record.txn_id} stranded the machine",
+                    txn_id=record.txn_id, proc_id=record.proc_id) from exc
             if block.header.status is not TxnStatus.COMMITTED:
                 raise RecoveryError(
                     f"replay of txn {record.txn_id} did not commit: "

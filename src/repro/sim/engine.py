@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from ..errors import BionicError
+from ..errors import BionicError, SimulatedCrash
 
 __all__ = [
     "Engine",
@@ -129,6 +129,20 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
+        self._throw_in(Interrupt(cause))
+
+    def kill(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at the current time.
+
+        Unlike :meth:`interrupt` (which the process may catch and
+        recover from), ``kill`` delivers an arbitrary exception — the
+        crash-injection hook for modelling a hardware unit dying
+        mid-flight."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("kill() requires an exception instance")
+        self._throw_in(exc)
+
+    def _throw_in(self, exc: BaseException) -> None:
         if self.triggered:
             return
         target = self._waiting_on
@@ -137,7 +151,7 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
         self._waiting_on = None
         kicker = Event(self.engine)
-        kicker.callbacks.append(lambda ev: self._step(Interrupt(cause), throw=True))
+        kicker.callbacks.append(lambda ev: self._step(exc, throw=True))
         kicker.succeed(None)
 
     # -- internal --------------------------------------------------------
@@ -252,6 +266,11 @@ class Engine:
         self._ready: list = []
         #: lifetime count of fired events (watchdog bookkeeping)
         self.events_fired: int = 0
+        #: crash hook: when set, the run loop raises
+        #: :class:`~repro.errors.SimulatedCrash` once ``events_fired``
+        #: reaches this count — the whole-machine-dies fault site
+        self.crash_at_fired: Optional[int] = None
+        self._halted = False
 
     # -- public API ------------------------------------------------------
     def event(self) -> Event:
@@ -290,9 +309,15 @@ class Engine:
         the host forever on a runaway process (e.g. a stored procedure
         branching in an unconditional loop, which makes simulated
         progress on every iteration and so never trips ``until``).
+
+        A call to :meth:`halt` from inside a callback stops the loop at
+        the current time (the graceful stop hook); an armed
+        ``crash_at_fired`` raises :class:`SimulatedCrash` instead (the
+        machine-dies hook).
         """
         fired = 0
-        while self._heap:
+        self._halted = False
+        while self._heap and not self._halted:
             when, _seq, event = self._heap[0]
             if until is not None and when > until:
                 self.now = until
@@ -306,9 +331,15 @@ class Engine:
             self.now = when
             fired += 1
             self._fire(event)
-        if until is not None:
+            self._maybe_crash()
+        if until is not None and not self._halted:
             self.now = max(self.now, until)
         return self.now
+
+    def halt(self) -> None:
+        """Stop the current :meth:`run` loop after the firing event's
+        callbacks finish; pending events stay queued for the next run."""
+        self._halted = True
 
     def run_until_done(self, done: Event, limit: float = float("inf")) -> float:
         """Run until ``done`` triggers; raise if the heap drains first."""
@@ -320,7 +351,17 @@ class Engine:
                 raise SimulationError(f"time limit {limit} exceeded")
             self.now = when
             self._fire(event)
+            self._maybe_crash()
         return self.now
+
+    def _maybe_crash(self) -> None:
+        if (self.crash_at_fired is not None
+                and self.events_fired >= self.crash_at_fired):
+            self.crash_at_fired = None    # a machine crashes once
+            raise SimulatedCrash("injected machine crash",
+                                 site="machine.crash",
+                                 events_fired=self.events_fired,
+                                 now_ns=self.now)
 
     # -- internal --------------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:

@@ -41,7 +41,9 @@ class TpccWorkload:
         self._history_counter = 0
 
     # -- install ---------------------------------------------------------
-    def install(self, db: BionicDB) -> None:
+    def install(self, db: BionicDB, load_data: bool = True) -> None:
+        """``load_data=False`` installs schema and procedures only —
+        the recovery path, where data comes from a checkpoint image."""
         cfg = self.config
         if db.config.n_workers != cfg.n_partitions:
             raise ValueError("workload partitions must match db workers")
@@ -55,7 +57,8 @@ class TpccWorkload:
         db.register_procedure(
             PROC_DELIVERY,
             delivery_procedure(districts=cfg.districts_per_warehouse))
-        self._load(db)
+        if load_data:
+            self._load(db)
 
     def _load(self, db: BionicDB) -> None:
         cfg = self.config
@@ -217,23 +220,26 @@ class TpccWorkload:
         return out
 
     # -- submission ---------------------------------------------------------------
+    def layout_for(self, spec: TxnSpec):
+        """The block layout one generated transaction needs."""
+        if spec.kind == "payment":
+            return payment_layout()
+        if spec.kind == "stocklevel":
+            return stocklevel_layout()
+        if spec.kind == "orderstatus":
+            return orderstatus_layout()
+        if spec.kind == "delivery":
+            return delivery_layout(
+                districts=self.config.districts_per_warehouse)
+        return neworder_layout(spec.keys[3])
+
     def submit_all(self, db: BionicDB, specs: Sequence[TxnSpec],
                    retry: bool = True):
         blocks, homes = [], []
         for spec in specs:
-            if spec.kind == "payment":
-                layout = payment_layout()
-            elif spec.kind == "stocklevel":
-                layout = stocklevel_layout()
-            elif spec.kind == "orderstatus":
-                layout = orderstatus_layout()
-            elif spec.kind == "delivery":
-                layout = delivery_layout(
-                    districts=self.config.districts_per_warehouse)
-            else:
-                layout = neworder_layout(spec.keys[3])
             blocks.append(db.new_block(spec.proc_id, list(spec.inputs),
-                                       layout=layout, worker=spec.home))
+                                       layout=self.layout_for(spec),
+                                       worker=spec.home))
             homes.append(spec.home)
         if retry:
             return db.run_to_commit(blocks, workers=homes), blocks

@@ -174,8 +174,12 @@ class YcsbWorkload:
         return b.build()
 
     # -- installation -------------------------------------------------------------
-    def install(self, db: BionicDB, procedures: Sequence[int] = ()) -> None:
-        """Define the table, register procedures, bulk-load all rows."""
+    def install(self, db: BionicDB, procedures: Sequence[int] = (),
+                load_data: bool = True) -> None:
+        """Define the table, register procedures, bulk-load all rows.
+
+        ``load_data=False`` installs schema and procedures only — the
+        recovery path, where data comes from a checkpoint image."""
         cfg = self.config
         if db.config.n_workers != cfg.n_partitions:
             raise ValueError("workload partitions must match db workers")
@@ -186,6 +190,8 @@ class YcsbWorkload:
             db.register_procedure(PROC_RMW_BASE + n, self.rmw_procedure(n))
         db.register_procedure(
             PROC_SCAN, self.scan_procedure(cfg.scan_length, self.scan_layout()))
+        if not load_data:
+            return
         for key in range(cfg.total_records):
             db.load(YCSB_TABLE, key, [cfg.payload])
 
@@ -288,16 +294,19 @@ class YcsbWorkload:
         return out
 
     # -- submission helper --------------------------------------------------------
+    def layout_for(self, spec: TxnSpec) -> BlockLayout:
+        """The block layout one generated transaction needs."""
+        if spec.kind == "scan":
+            return self.scan_layout()
+        if spec.kind == "mix":
+            return self.mixed_layout()
+        return self.read_layout(len(spec.keys))
+
     def submit_all(self, db: BionicDB, specs: Sequence[TxnSpec]):
         blocks, homes = [], []
         for spec in specs:
-            if spec.kind == "scan":
-                layout = self.scan_layout()
-            elif spec.kind == "mix":
-                layout = self.mixed_layout()
-            else:
-                layout = self.read_layout(len(spec.keys))
             blocks.append(db.new_block(spec.proc_id, list(spec.inputs),
-                                       layout=layout, worker=spec.home))
+                                       layout=self.layout_for(spec),
+                                       worker=spec.home))
             homes.append(spec.home)
         return db.run_all(blocks, workers=homes), blocks
