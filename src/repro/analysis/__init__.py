@@ -1,0 +1,57 @@
+"""Static analysis over BionicDB stored procedures — and the simulator.
+
+The softcore gives a stored procedure no runtime safety net: a RET on
+a never-dispatched CP register parks the process forever, a WRFIELD on
+a read-only tuple bypasses the UNDO log, a constant key quietly routes
+every dispatch to one partition regardless of where the transaction is
+homed.  This package proves those properties (or produces findings)
+*before* a program reaches the catalogue:
+
+* :mod:`.cfg` — per-section control-flow graphs: basic blocks,
+  resolved branch edges, dominators, reachability.
+* :mod:`.dataflow` — the stitched whole-program flow graph
+  (logic → commit/abort, trap edges) and the generic worklist engine
+  (:func:`~repro.analysis.dataflow.solve_forward` /
+  :func:`~repro.analysis.dataflow.solve_backward`).
+* :mod:`.liveness` — GP/CP liveness, reaching definitions, def-use
+  chains; dead-write and uncollected-CP clients.
+* :mod:`.protocol` — the §4.7 commit-protocol proof: must/may
+  pending-CP analyses and WRFIELD write-intent provenance.
+* :mod:`.provenance` — §4.4 partition-ownership analysis: key-origin
+  abstract interpretation, per-dispatch partition classification, and
+  the static MLP estimate.
+* :mod:`.lint` — determinism lint for the simulator's own Python
+  (``python -m repro.analysis.lint src/repro``).
+
+:func:`repro.isa.verify.verify_program` is the main client; the CLI
+(``python -m repro.analysis report <proc>``) renders everything at
+once for one procedure.
+"""
+
+from .cfg import EXIT, BasicBlock, Cfg, build_all_cfgs, build_cfg
+from .dataflow import (
+    FlowGraph, Node, program_flow, solve_backward, solve_forward,
+)
+from .liveness import (
+    ENTRY_DEF, LivenessResult, ReachingDefs, dead_gp_writes, def_use_chains,
+    live_cp, live_gp, reaching_definitions, uncollected_cps,
+)
+from .protocol import (
+    CommitProtocolReport, PendingCpResult, WriteProvenance,
+    check_commit_protocol, pending_cps, write_provenance,
+)
+from .provenance import (
+    DispatchInfo, KeyOrigin, PartitionSummary, analyze_partitions, static_mlp,
+)
+
+__all__ = [
+    "EXIT", "BasicBlock", "Cfg", "build_cfg", "build_all_cfgs",
+    "FlowGraph", "Node", "program_flow", "solve_forward", "solve_backward",
+    "ENTRY_DEF", "LivenessResult", "ReachingDefs", "live_gp", "live_cp",
+    "reaching_definitions", "def_use_chains", "dead_gp_writes",
+    "uncollected_cps",
+    "PendingCpResult", "WriteProvenance", "CommitProtocolReport",
+    "pending_cps", "write_provenance", "check_commit_protocol",
+    "KeyOrigin", "DispatchInfo", "PartitionSummary", "analyze_partitions",
+    "static_mlp",
+]

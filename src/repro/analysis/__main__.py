@@ -1,0 +1,64 @@
+"""CLI for the static-analysis framework.
+
+::
+
+    python -m repro.analysis report <proc> [--workers N]
+    python -m repro.analysis list
+    python -m repro.analysis lint <paths...>
+
+``report`` prints the CFG, per-block liveness, partition summary,
+commit-protocol verdict and verifier findings for one stored procedure
+(see :mod:`repro.analysis.registry` for the accepted names).  ``lint``
+is a shorthand for :mod:`repro.analysis.lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import lint as lint_mod
+from .registry import ResolveError, known_names, resolve
+from .report import render_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static analysis over BionicDB stored procedures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="CFG + liveness + partition report for a procedure")
+    p_report.add_argument("procedure", help="e.g. tpcc_payment, ycsb_read_4")
+    p_report.add_argument("--workers", type=int, default=4,
+                          help="worker count for pinned-key partition ids")
+
+    sub.add_parser("list", help="list resolvable procedure names")
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism lint over Python source trees")
+    p_lint.add_argument("paths", nargs="+")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in known_names():
+            print(name)
+        return 0
+
+    if args.command == "lint":
+        return lint_mod.main(args.paths)
+
+    try:
+        program, catalog = resolve(args.procedure)
+    except ResolveError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    sys.stdout.write(render_report(program, schemas=catalog,
+                                   n_workers=args.workers))
+    return 0
+
+
+if __name__ == "__main__":                     # pragma: no cover
+    sys.exit(main())

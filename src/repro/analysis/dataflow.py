@@ -1,0 +1,284 @@
+"""Generic worklist dataflow engine over ISA programs.
+
+The engine runs at instruction granularity on a :class:`FlowGraph`
+derived from the per-section basic-block CFGs (:mod:`.cfg`).  A node
+is one instruction at a program point ``(section, index)``; edges are
+the CFG edges, expanded to instruction level, plus the *stitch* edges
+that connect the sections the way the softcore actually runs them
+(§4.3/§4.7):
+
+* falling off the end of the logic section enters the commit handler
+  (validation passed) **and** the abort handler (validation failed) —
+  the two phase-2 outcomes;
+* a ``RET``/``RETN`` or ``DIV`` in the logic section may *trap*
+  straight to the abort handler (failed DB result, div-by-zero), so
+  each such instruction gets an extra edge to the abort entry.
+
+Analyses supply a lattice as plain values plus ``join``/``transfer``
+callables; :func:`solve_forward` and :func:`solve_backward` iterate a
+worklist to the fixpoint and return per-node in/out states.  The
+concrete analyses live in :mod:`.liveness` (liveness, reaching
+definitions, def-use chains), :mod:`.protocol` (commit-protocol
+proofs) and :mod:`.provenance` (partition ownership).
+
+Def/use model
+-------------
+
+``gp_defs``/``gp_uses`` and ``cp_defs``/``cp_uses`` give the register
+footprint of one instruction.  A DB instruction *defines* its CP
+register (the coprocessor will write the result there); ``RET``/
+``RETN`` *uses* the CP register and defines its GP destination.
+Registers referenced through addressing modes (``@rN``, ``[rN+k]``,
+computed keys) are uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable, Dict, FrozenSet, List, Optional, Tuple, TypeVar,
+)
+
+from ..isa.instructions import (
+    BlockRef, FieldRef, Gp, Instruction, Opcode, Program, Section,
+)
+from .cfg import EXIT, Cfg, build_all_cfgs
+
+__all__ = [
+    "Node", "FlowGraph", "program_flow",
+    "solve_forward", "solve_backward",
+    "gp_defs", "gp_uses", "cp_defs", "cp_uses",
+]
+
+S = TypeVar("S")
+
+#: Logic-section opcodes that may trap to the abort handler mid-section
+#: (failed DB result collection; division by zero).
+TRAP_OPCODES = frozenset({Opcode.RET, Opcode.RETN, Opcode.DIV, Opcode.ABORT})
+
+
+@dataclass(frozen=True)
+class Node:
+    """One program point: instruction ``index`` of ``section``."""
+    section: Section
+    index: int
+
+    def __repr__(self) -> str:
+        return f"{self.section.value}[{self.index}]"
+
+
+class FlowGraph:
+    """The stitched instruction-level flow graph of a whole program."""
+
+    def __init__(self, program: Program, cfgs: Dict[Section, Cfg],
+                 traps: bool = True):
+        self.program = program
+        self.cfgs = cfgs
+        self.nodes: List[Node] = []
+        self._id: Dict[Node, int] = {}
+        for section in Section:
+            for i in range(len(program.section(section))):
+                node = Node(section, i)
+                self._id[node] = len(self.nodes)
+                self.nodes.append(node)
+        n = len(self.nodes)
+        self.succs: List[List[int]] = [[] for _ in range(n)]
+        self.preds: List[List[int]] = [[] for _ in range(n)]
+        self._build_edges(traps)
+
+    # -- construction ----------------------------------------------------
+    def _entry_of(self, section: Section) -> Optional[int]:
+        insts = self.program.section(section)
+        return self._id[Node(section, 0)] if insts else None
+
+    def _build_edges(self, traps: bool) -> None:
+        commit_entry = self._entry_of(Section.COMMIT)
+        abort_entry = self._entry_of(Section.ABORT)
+        for section, cfg in self.cfgs.items():
+            # section exits: logic flows into the phase-2 handlers
+            if section is Section.LOGIC:
+                exit_targets = [t for t in (commit_entry, abort_entry)
+                                if t is not None]
+            else:
+                exit_targets = []
+            for blk in cfg.blocks:
+                # intra-block straight line
+                for i in range(blk.start, blk.end - 1):
+                    self._edge(self._id[Node(section, i)],
+                               self._id[Node(section, i + 1)])
+                # block terminator -> successor blocks (their first inst)
+                last = self._id[Node(section, blk.end - 1)]
+                for s in blk.succs:
+                    if s == EXIT:
+                        for t in exit_targets:
+                            self._edge(last, t)
+                    else:
+                        first = self._id[Node(section, cfg.blocks[s].start)]
+                        self._edge(last, first)
+            # trap edges: logic may bail to the abort handler mid-stream
+            if traps and section is Section.LOGIC and abort_entry is not None:
+                for i, inst in enumerate(cfg.insts):
+                    if inst.opcode in TRAP_OPCODES:
+                        self._edge(self._id[Node(section, i)], abort_entry)
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+            self.preds[dst].append(src)
+
+    # -- accessors -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_id(self, node: Node) -> int:
+        return self._id[node]
+
+    def inst(self, nid: int) -> Instruction:
+        node = self.nodes[nid]
+        return self.program.section(node.section)[node.index]
+
+    @property
+    def entries(self) -> List[int]:
+        """Graph entry points: the first logic instruction (or, for a
+        logic-less program, the handler entries)."""
+        logic = self._entry_of(Section.LOGIC)
+        if logic is not None:
+            return [logic]
+        return [e for e in (self._entry_of(Section.COMMIT),
+                            self._entry_of(Section.ABORT)) if e is not None]
+
+
+def program_flow(program: Program, traps: bool = True) -> FlowGraph:
+    """Build the stitched flow graph (finalizes ``program`` if needed)."""
+    return FlowGraph(program, build_all_cfgs(program), traps=traps)
+
+
+# ---------------------------------------------------------------------------
+# worklist solvers
+# ---------------------------------------------------------------------------
+
+def solve_forward(
+    graph: FlowGraph,
+    entry_state: S,
+    bottom: S,
+    transfer: Callable[[Instruction, S], S],
+    join: Callable[[S, S], S],
+) -> Tuple[List[S], List[S]]:
+    """Forward fixpoint: returns (in_states, out_states) per node id.
+
+    ``bottom`` is the lattice bottom used for not-yet-visited
+    predecessors; ``entry_state`` seeds the graph entries.  ``join``
+    must be monotone and idempotent, ``transfer`` monotone — the usual
+    Kildall conditions under which the worklist terminates at the
+    least fixpoint.
+    """
+    n = len(graph)
+    ins: List[S] = [bottom] * n
+    outs: List[S] = [bottom] * n
+    entries = set(graph.entries)
+    work = list(range(n))
+    in_work = [True] * n
+    while work:
+        nid = work.pop(0)
+        in_work[nid] = False
+        state = entry_state if nid in entries else bottom
+        for p in graph.preds[nid]:
+            state = join(state, outs[p])
+        ins[nid] = state
+        new_out = transfer(graph.inst(nid), state)
+        if new_out != outs[nid]:
+            outs[nid] = new_out
+            for s in graph.succs[nid]:
+                if not in_work[s]:
+                    in_work[s] = True
+                    work.append(s)
+    return ins, outs
+
+
+def solve_backward(
+    graph: FlowGraph,
+    exit_state: S,
+    bottom: S,
+    transfer: Callable[[Instruction, S], S],
+    join: Callable[[S, S], S],
+) -> Tuple[List[S], List[S]]:
+    """Backward fixpoint: returns (in_states, out_states) per node id.
+
+    ``in`` here is the state *before* the instruction (the analysis
+    result flowing against execution order); ``exit_state`` seeds
+    nodes with no successors.
+    """
+    n = len(graph)
+    ins: List[S] = [bottom] * n
+    outs: List[S] = [bottom] * n
+    work = list(range(n - 1, -1, -1))
+    in_work = [True] * n
+    while work:
+        nid = work.pop(0)
+        in_work[nid] = False
+        state = exit_state if not graph.succs[nid] else bottom
+        for s in graph.succs[nid]:
+            state = join(state, ins[s])
+        outs[nid] = state
+        new_in = transfer(graph.inst(nid), state)
+        if new_in != ins[nid]:
+            ins[nid] = new_in
+            for p in graph.preds[nid]:
+                if not in_work[p]:
+                    in_work[p] = True
+                    work.append(p)
+    return ins, outs
+
+
+# ---------------------------------------------------------------------------
+# def/use model
+# ---------------------------------------------------------------------------
+
+_ARITH = frozenset({Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV})
+
+
+def _reg_of(x) -> Optional[int]:
+    return x.n if isinstance(x, Gp) else None
+
+
+def _addr_uses(addr) -> FrozenSet[int]:
+    if isinstance(addr, BlockRef) and isinstance(addr.offset, Gp):
+        return frozenset({addr.offset.n})
+    if isinstance(addr, FieldRef):
+        return frozenset({addr.base.n})
+    return frozenset()
+
+
+def gp_defs(inst: Instruction) -> FrozenSet[int]:
+    """GP registers this instruction writes."""
+    if inst.opcode in _ARITH or inst.opcode in (
+            Opcode.MOV, Opcode.LOAD, Opcode.RET, Opcode.RETN):
+        return frozenset({inst.dst.n}) if inst.dst is not None else frozenset()
+    return frozenset()
+
+
+def gp_uses(inst: Instruction) -> FrozenSet[int]:
+    """GP registers this instruction reads (any addressing mode)."""
+    used = set()
+    for operand in (inst.a, inst.b, inst.key):
+        r = _reg_of(operand)
+        if r is not None:
+            used.add(r)
+        elif isinstance(operand, BlockRef) and isinstance(operand.offset, Gp):
+            used.add(operand.offset.n)
+    used |= _addr_uses(inst.addr)
+    return frozenset(used)
+
+
+def cp_defs(inst: Instruction) -> FrozenSet[int]:
+    """CP registers this instruction writes (DB dispatch)."""
+    if inst.is_db and inst.cp is not None:
+        return frozenset({inst.cp.n})
+    return frozenset()
+
+
+def cp_uses(inst: Instruction) -> FrozenSet[int]:
+    """CP registers this instruction reads (result collection)."""
+    if inst.opcode in (Opcode.RET, Opcode.RETN) and inst.cp is not None:
+        return frozenset({inst.cp.n})
+    return frozenset()

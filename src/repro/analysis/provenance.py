@@ -1,0 +1,315 @@
+"""Partition-ownership analysis: key provenance + static MLP (§4.4).
+
+DORA-style partitioning makes the *key operand* of every DB
+instruction a routing decision: the worker compares the key's home
+partition against its own id and either executes locally or sends the
+request over the on-chip message path (§4.4).  Which partition a key
+can reach is decided by where the key *comes from*, so the analysis
+abstract-interprets GP registers over a small provenance lattice::
+
+    KeyOrigin(const, cells, opaque)
+
+* ``const``  — the exact integer value, when the register is a
+  compile-time constant (MOV #imm and arithmetic over constants);
+* ``cells``  — the set of transaction-block input cells the value may
+  depend on (LOAD @k taints with {k}; arithmetic unions);
+* ``opaque`` — the value additionally depends on runtime-only data
+  (tuple fields, DB results, register-indirect block cells).
+
+Classification per DB instruction:
+
+``local``
+    replicated table — every partition holds a copy, the dispatch
+    never leaves the worker.
+``input``
+    the key is a block cell (``@k``) or derived from one: the home
+    partition is chosen by whoever built the block, which is exactly
+    the §4.4 contract.  ``anchors`` names the cells.
+``pinned``
+    the key is a compile-time constant: the dispatch routes to one
+    fixed partition *regardless of the block's home worker* — the
+    procedure is mis-homed everywhere else and silently relies on the
+    message path (or deadlocks a crossbar-less deployment).  With a
+    schema catalog and worker count the exact partition is computed.
+``untracked``
+    the key depends only on runtime data with no input anchor; the
+    analysis cannot bound the partitions it reaches.
+
+The same pass computes the **static MLP estimate**: the maximum number
+of in-flight DB dispatches along any path (dispatch +1, RET/RETN −1,
+max-join at merges) — the intra-transaction index parallelism the
+paper's Figure 9 measures, and a direct occupancy bound for the index
+coprocessor pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from ..isa.instructions import (
+    BlockRef, Gp, Imm, Instruction, Opcode, Program, Section,
+)
+from ..mem.schema import Catalog
+from .dataflow import FlowGraph, Node, program_flow, solve_forward
+
+__all__ = ["KeyOrigin", "DispatchInfo", "PartitionSummary",
+           "analyze_partitions", "static_mlp"]
+
+
+@dataclass(frozen=True)
+class KeyOrigin:
+    """Abstract provenance of one register (or key operand) value."""
+
+    const: Optional[int] = None
+    cells: FrozenSet[int] = frozenset()
+    opaque: bool = False
+
+    @staticmethod
+    def constant(v) -> "KeyOrigin":
+        if isinstance(v, int) and not isinstance(v, bool):
+            return KeyOrigin(const=v)
+        return KeyOrigin()          # non-integer immediate: input-free
+
+    @staticmethod
+    def cell(offset: int) -> "KeyOrigin":
+        return KeyOrigin(cells=frozenset({offset}))
+
+    @staticmethod
+    def runtime() -> "KeyOrigin":
+        return KeyOrigin(opaque=True)
+
+    def taint(self) -> "KeyOrigin":
+        """The same anchors, but through a runtime indirection."""
+        return KeyOrigin(const=None, cells=self.cells, opaque=True)
+
+    def join(self, other: "KeyOrigin") -> "KeyOrigin":
+        return KeyOrigin(
+            const=self.const if self.const == other.const else None,
+            cells=self.cells | other.cells,
+            opaque=self.opaque or other.opaque)
+
+    def combine(self, other: "KeyOrigin", op: Opcode) -> "KeyOrigin":
+        """Provenance of a binary arithmetic result."""
+        if self.const is not None and other.const is not None:
+            a, b = self.const, other.const
+            try:
+                v = {Opcode.ADD: a + b, Opcode.SUB: a - b,
+                     Opcode.MUL: a * b}.get(op)
+                if v is None and op is Opcode.DIV and b != 0:
+                    v = a // b
+            except (OverflowError, ValueError):   # pragma: no cover
+                v = None
+            if v is not None:
+                return KeyOrigin(const=v)
+        return KeyOrigin(const=None, cells=self.cells | other.cells,
+                         opaque=self.opaque or other.opaque)
+
+
+#: Abstract state: register -> origin; missing = entry value (opaque).
+#: GP registers are keyed by their number; CP registers by ("cp", n) —
+#: a dispatch stores the (tainted) key origin there and RET propagates
+#: it, so a key loaded from a fetched tuple's field keeps the anchor of
+#: the cell that located the tuple (TPC-C co-partitioning: the
+#: last-order pointer in a customer row lives in the customer's own
+#: warehouse partition).
+_ENTRY = KeyOrigin.runtime()
+
+
+def _get(state: Dict, reg: int) -> KeyOrigin:
+    return state.get(reg, _ENTRY)
+
+
+def _get_cp(state: Dict, n: int) -> KeyOrigin:
+    return state.get(("cp", n), _ENTRY)
+
+
+def _operand_origin(state: Dict, operand) -> KeyOrigin:
+    if isinstance(operand, Gp):
+        return _get(state, operand.n)
+    if isinstance(operand, Imm):
+        return KeyOrigin.constant(operand.value)
+    return KeyOrigin.runtime()
+
+
+def _key_origin(state: Dict, key) -> KeyOrigin:
+    """Abstract origin of a DB instruction's key operand."""
+    if isinstance(key, BlockRef):
+        if isinstance(key.offset, int):
+            return KeyOrigin.cell(key.offset + key.extra)
+        return _get(state, key.offset.n).taint()     # @rN: computed cell
+    return _operand_origin(state, key)
+
+
+def _transfer(inst: Instruction, state: Dict) -> Dict:
+    op = inst.opcode
+    if op is Opcode.MOV:
+        return {**state, inst.dst.n: _operand_origin(state, inst.a)}
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
+        a = _operand_origin(state, inst.a)
+        b = _operand_origin(state, inst.b)
+        return {**state, inst.dst.n: a.combine(b, op)}
+    if op is Opcode.LOAD:
+        addr = inst.addr
+        if isinstance(addr, BlockRef) and isinstance(addr.offset, int):
+            origin = KeyOrigin.cell(addr.offset + addr.extra)
+        elif isinstance(addr, BlockRef):          # @rN: computed cell
+            origin = _get(state, addr.offset.n).taint()
+        else:                                     # [rN+k]: tuple field
+            origin = _get(state, addr.base.n).taint()
+        return {**state, inst.dst.n: origin}
+    if inst.is_db and inst.cp is not None:
+        # The result tuple is co-located with the key that found it.
+        return {**state, ("cp", inst.cp.n): _key_origin(state, inst.key).taint()}
+    if op in (Opcode.RET, Opcode.RETN):
+        return {**state, inst.dst.n: _get_cp(state, inst.cp.n)}
+    return state
+
+
+@dataclass(frozen=True)
+class DispatchInfo:
+    """The partition classification of one DB instruction."""
+
+    node: Node
+    opcode: Opcode
+    table: int
+    kind: str                      # "local" | "input" | "pinned" | "untracked"
+    anchors: FrozenSet[int] = frozenset()
+    #: for pinned keys: the constant key value
+    const_key: Optional[int] = None
+    #: for pinned keys with a schema + worker count: the home partition
+    partition: Optional[int] = None
+
+
+@dataclass
+class PartitionSummary:
+    """Per-procedure partition-ownership and occupancy summary."""
+
+    program_name: str
+    dispatches: List[DispatchInfo] = field(default_factory=list)
+    static_mlp: int = 0
+
+    @property
+    def pinned(self) -> List[DispatchInfo]:
+        return [d for d in self.dispatches if d.kind == "pinned"]
+
+    @property
+    def untracked(self) -> List[DispatchInfo]:
+        return [d for d in self.dispatches if d.kind == "untracked"]
+
+    @property
+    def anchor_cells(self) -> FrozenSet[int]:
+        """All input cells that feed partitioned-table keys."""
+        out: FrozenSet[int] = frozenset()
+        for d in self.dispatches:
+            if d.kind == "input":
+                out |= d.anchors
+        return out
+
+    def by_table(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for d in self.dispatches:
+            counts[d.table] = counts.get(d.table, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format(self) -> str:
+        lines = [f"partition summary for {self.program_name}:"
+                 f"  {len(self.dispatches)} DB instructions,"
+                 f" static MLP {self.static_mlp}"]
+        for d in self.dispatches:
+            extra = ""
+            if d.kind == "input":
+                extra = f"  anchors=@{sorted(d.anchors)}"
+            elif d.kind == "pinned":
+                extra = f"  key={d.const_key}"
+                if d.partition is not None:
+                    extra += f" -> partition {d.partition}"
+            lines.append(f"  {d.node!r:>12}  {d.opcode.value:<7} "
+                         f"t{d.table}  {d.kind}{extra}")
+        return "\n".join(lines)
+
+
+def _classify(inst: Instruction, state: Dict[int, KeyOrigin],
+              schemas: Optional[Catalog], n_workers: Optional[int],
+              node: Node) -> DispatchInfo:
+    table = inst.table
+    schema = None
+    if schemas is not None:
+        try:
+            schema = schemas.table(table)
+        except Exception:
+            schema = None           # unknown table: reported elsewhere
+    if schema is not None and schema.replicated:
+        return DispatchInfo(node=node, opcode=inst.opcode, table=table,
+                            kind="local")
+
+    origin = _key_origin(state, inst.key)
+
+    if origin.const is not None:
+        partition = None
+        if schema is not None and n_workers:
+            partition = schema.route(origin.const, n_workers)
+        return DispatchInfo(node=node, opcode=inst.opcode, table=table,
+                            kind="pinned", const_key=origin.const,
+                            partition=partition)
+    if origin.cells:
+        return DispatchInfo(node=node, opcode=inst.opcode, table=table,
+                            kind="input", anchors=origin.cells)
+    return DispatchInfo(node=node, opcode=inst.opcode, table=table,
+                        kind="untracked")
+
+
+def analyze_partitions(program: Program,
+                       schemas: Optional[Catalog] = None,
+                       n_workers: Optional[int] = None,
+                       graph: Optional[FlowGraph] = None
+                       ) -> PartitionSummary:
+    """Run the provenance abstract interpretation over ``program``."""
+    graph = graph or program_flow(program)
+
+    # States are dicts (missing register = entry value); the lattice
+    # bottom for unvisited predecessors is None, NOT the empty dict —
+    # an empty dict is a real state meaning "every register still holds
+    # its entry value" and must taint what it joins with.
+    def join(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return {reg: a.get(reg, _ENTRY).join(b.get(reg, _ENTRY))
+                for reg in sorted(set(a) | set(b), key=repr)}
+
+    def transfer(inst, state):
+        return None if state is None else _transfer(inst, state)
+
+    ins, _ = solve_forward(graph, entry_state={}, bottom=None,
+                           transfer=transfer, join=join)
+
+    summary = PartitionSummary(program_name=program.name)
+    for nid in range(len(graph)):
+        inst = graph.inst(nid)
+        if inst.is_db:
+            summary.dispatches.append(
+                _classify(inst, ins[nid] or {}, schemas, n_workers,
+                          graph.nodes[nid]))
+    summary.static_mlp = static_mlp(program, graph)
+    return summary
+
+
+def static_mlp(program: Program, graph: Optional[FlowGraph] = None) -> int:
+    """Max in-flight DB dispatches along any path (max-join dataflow)."""
+    graph = graph or program_flow(program)
+    total_db = sum(1 for s in Section for i in program.section(s) if i.is_db)
+    if total_db == 0:
+        return 0
+
+    def transfer(inst: Instruction, state: int) -> int:
+        if inst.is_db:
+            return min(state + 1, total_db)
+        if inst.opcode in (Opcode.RET, Opcode.RETN):
+            return max(state - 1, 0)
+        return state
+
+    ins, outs = solve_forward(graph, entry_state=0, bottom=0,
+                              transfer=transfer, join=max)
+    return max(outs, default=0)

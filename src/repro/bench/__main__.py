@@ -91,16 +91,16 @@ def main(argv=None) -> int:
                      f"(use --list)")
 
     rendered = []
-    t_total = time.time()
+    t_total = time.time()  # det: allow(wall-clock) — host-side progress display only
     for name in chosen:
         fn, full_kw, quick_kw = EXPERIMENTS[name]
         kwargs = quick_kw if args.quick else full_kw
-        t0 = time.time()
+        t0 = time.time()  # det: allow(wall-clock) — host-side progress display only
         report = fn(**kwargs)
         report.show()
-        print(f"[{name} finished in {time.time() - t0:.1f}s]")
+        print(f"[{name} finished in {time.time() - t0:.1f}s]")  # det: allow(wall-clock)
         rendered.append(report.render())
-    print(f"\nall done in {time.time() - t_total:.1f}s "
+    print(f"\nall done in {time.time() - t_total:.1f}s "  # det: allow(wall-clock)
           f"({len(chosen)} experiments)")
 
     if args.output:

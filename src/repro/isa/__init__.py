@@ -2,7 +2,7 @@
 
 from .assembler import AssemblyError, assemble, assemble_one
 from .builder import ProcedureBuilder
-from .disassembler import disassemble
+from .disassembler import branch_label, disassemble, disassemble_instruction
 from .instructions import (
     BlockRef, Cp, CPU_OPCODES, DB_OPCODES, FieldRef, Gp, Imm, Instruction,
     IsaError, Label, Opcode, Program, Section,
@@ -11,7 +11,8 @@ from .verify import Finding, VerificationReport, verify_program
 
 __all__ = [
     "AssemblyError", "assemble", "assemble_one", "ProcedureBuilder",
-    "disassemble", "BlockRef", "Cp", "CPU_OPCODES", "DB_OPCODES",
+    "disassemble", "disassemble_instruction", "branch_label",
+    "BlockRef", "Cp", "CPU_OPCODES", "DB_OPCODES",
     "FieldRef", "Gp", "Imm", "Instruction", "IsaError", "Label",
     "Opcode", "Program", "Section",
     "Finding", "VerificationReport", "verify_program",

@@ -1,19 +1,46 @@
 """Disassembler: renders a Program back to assembly text.
 
-Round-trips with :mod:`repro.isa.assembler` for all programs whose
-branch targets were resolved from labels (targets are re-labelled
-``L<index>``).
+Round-trips with :mod:`repro.isa.assembler` both for finalized
+programs (resolved integer targets are re-labelled with the
+section-relative ``L<index>`` convention — the same names
+:meth:`repro.analysis.cfg.Cfg.format` uses for basic blocks, so a CFG
+dump and a disassembly agree) and for un-finalized programs (the
+builder's named labels are re-emitted from ``program.labels``).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Mapping
 
 from .instructions import (
     BlockRef, Cp, FieldRef, Gp, Imm, Instruction, Label, Opcode, Program, Section,
 )
 
-__all__ = ["disassemble"]
+__all__ = ["disassemble", "disassemble_instruction", "branch_label"]
+
+
+def branch_label(target: int) -> str:
+    """The section-relative label for a resolved branch target."""
+    return f"L{target}"
+
+
+class _AutoLabels(dict):
+    """target -> label map that names unknown targets on demand."""
+
+    def __missing__(self, target: int) -> str:
+        return branch_label(target)
+
+
+def disassemble_instruction(inst: Instruction) -> str:
+    """Render one instruction; resolved targets become ``L<index>``.
+
+    This is what diagnostics embed (e.g. ``Finding.detail``) — the text
+    matches the corresponding :func:`disassemble` line exactly.
+    """
+    try:
+        return _render(inst, _AutoLabels())
+    except (TypeError, KeyError, AttributeError):
+        return repr(inst)       # malformed instruction: fall back
 
 
 def _operand(x) -> str:
@@ -34,7 +61,7 @@ def _operand(x) -> str:
     raise TypeError(f"cannot render operand {x!r}")
 
 
-def _render(inst: Instruction, target_labels: dict) -> str:
+def _render(inst: Instruction, target_labels: Mapping[int, str]) -> str:
     op = inst.opcode
     if op in (Opcode.INSERT, Opcode.SEARCH, Opcode.UPDATE, Opcode.REMOVE):
         text = f"{op.value} {_operand(inst.cp)}, t{inst.table}, {_operand(inst.key)}"
@@ -73,15 +100,29 @@ def disassemble(program: Program) -> str:
         if not insts:
             continue
         lines.append(f".{section.value}")
-        # Collect branch targets so label definitions can be re-emitted.
+        # Resolved integer targets get section-relative L<index> labels;
+        # named labels still pending resolution (un-finalized programs)
+        # are re-emitted from the builder's label table so the listing
+        # assembles back.
         targets = sorted({i.target for i in insts if isinstance(i.target, int)})
-        target_labels = {t: f"L{t}" for t in targets}
+        target_labels = {t: branch_label(t) for t in targets}
+        named_labels: dict = {}
+        if not program.finalized:
+            for (label_section, name), idx in program.labels.items():
+                if label_section is section:
+                    named_labels.setdefault(idx, []).append(name)
         for idx, inst in enumerate(insts):
             if idx in target_labels:
                 lines.append(f"{target_labels[idx]}:")
+            for name in named_labels.get(idx, ()):
+                lines.append(f"{name}:")
             lines.append(f"    {_render(inst, target_labels)}")
         # A target one past the last instruction (loop exits) still needs a label.
-        if len(insts) in target_labels:
-            lines.append(f"{target_labels[len(insts)]}:")
+        tail_names = ([target_labels[len(insts)]]
+                      if len(insts) in target_labels else [])
+        tail_names += named_labels.get(len(insts), [])
+        if tail_names:
+            for name in tail_names:
+                lines.append(f"{name}:")
             lines.append("    NOP")
     return "\n".join(lines) + "\n"

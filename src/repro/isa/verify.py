@@ -1,4 +1,4 @@
-"""Static verification of ISA programs.
+"""Static verification of ISA programs — a client of ``repro.analysis``.
 
 The softcore executes whatever the catalogue hands it; a malformed
 stored procedure does not fault cleanly — it *hangs*.  A ``RET`` on a
@@ -10,9 +10,14 @@ are tape-out reviews; here they are a static pass run at procedure
 registration (§4.3 — registration is the last host-side moment before
 the program is on-chip).
 
-:func:`verify_program` performs the checks and returns a
-:class:`VerificationReport` of findings.  Fatal findings (``error``
-severity) raise :class:`~repro.errors.VerificationError` via
+Historically this module was a peephole scanner; it is now a thin
+client of the CFG/dataflow framework in :mod:`repro.analysis` — CFG
+construction drives the structural checks, and the commit-protocol,
+liveness and partition-provenance analyses contribute checks the
+peephole pass could not express.  The API is unchanged:
+:func:`verify_program` returns a :class:`VerificationReport` of
+:class:`Finding`\\ s, and fatal findings raise
+:class:`~repro.errors.VerificationError` via
 :meth:`VerificationReport.raise_if_errors` — which is what
 ``Catalogue.register`` does by default.
 
@@ -29,16 +34,44 @@ errors
     * ``ret-unwritten-cp`` — ``RET``/``RETN`` collects a CP register
       that no DB instruction in the program dispatches: a guaranteed
       deadlock.
+    * ``ret-unready-cp`` — the CP *is* dispatched somewhere, but not on
+      every path reaching the RET (conditional dispatch, or a second
+      RET after the result was already collected): the softcore can
+      still park forever.  Proven by the must-pending dataflow in
+      :mod:`repro.analysis.protocol`; strictly stronger than
+      ``ret-unwritten-cp``.
     * ``missing-commit`` / ``missing-abort`` — a non-empty commit
       (abort) handler that can never reach ``COMMIT`` (``ABORT``), so
-      the block's status is never finalised.
+      the block's status is never finalised.  Proven by CFG
+      reachability.
     * ``unknown-table`` — only when a schema catalog is supplied: a DB
       instruction references a table id the catalog does not know.
+    * ``unprotected-write`` — a ``WRFIELD`` whose base register can
+      originate from a ``SEARCH``/``SCAN`` result: an in-place write to
+      a tuple the transaction holds no write intent on, bypassing the
+      §4.7 dirty-mark and UNDO log.
 
 warnings
     * ``db-outside-logic`` — a DB instruction in a commit/abort
       handler; dispatched writes there bypass the §4.7 commit protocol.
     * ``scan-count`` — a SCAN with a non-positive immediate count.
+    * ``dead-gp-write`` — a pure register write (``ADD``/``SUB``/
+      ``MUL``/``DIV``/``MOV``) never read before redefinition or exit.
+    * ``uncollected-cp`` — a dispatch whose CP result no path ever
+      collects: the slot is held for the whole transaction for nothing.
+    * ``redispatch-pending-cp`` — a dispatch may overwrite a CP whose
+      previous result is still pending.
+    * ``untracked-write`` — a ``WRFIELD`` base that is not traceable to
+      any RET (an arithmetic or loaded value used as a tuple address).
+    * ``partition-pinned-key`` — a partitioned-table dispatch whose key
+      is a compile-time constant: it routes to one fixed partition
+      regardless of the block's home worker (§4.4), so the procedure is
+      mis-homed everywhere else.
+    * ``partition-untracked-key`` — a key with no input-cell anchor at
+      all; the partitions it can reach cannot be bounded statically.
+
+Instruction-anchored findings carry the offending instruction's
+disassembled text in :attr:`Finding.detail`.
 """
 
 from __future__ import annotations
@@ -47,9 +80,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..errors import VerificationError
-from .instructions import (
-    BRANCH_OPCODES, Cp, Imm, Instruction, Opcode, Program, Section,
-)
+from .disassembler import disassemble_instruction
+from .instructions import Imm, Instruction, Opcode, Program, Section
 
 __all__ = ["Finding", "VerificationReport", "verify_program"]
 
@@ -63,12 +95,17 @@ class Finding:
     message: str
     section: Optional[Section] = None
     index: Optional[int] = None
+    #: disassembled text of the offending instruction, when anchored
+    detail: Optional[str] = None
 
     def __str__(self) -> str:
         where = ""
         if self.section is not None:
             where = f" at {self.section.value}[{self.index}]"
-        return f"{self.severity}: {self.code}{where}: {self.message}"
+        text = f"{self.severity}: {self.code}{where}: {self.message}"
+        if self.detail:
+            text += f" | {self.detail}"
+        return text
 
 
 @dataclass
@@ -99,51 +136,37 @@ class VerificationReport:
         return self
 
 
-def _dispatched_cps(program: Program) -> set:
-    cps = set()
-    for which in Section:
-        for inst in program.section(which):
-            if inst.is_db and inst.cp is not None:
-                cps.add(inst.cp.n)
-    return cps
-
-
-def _reaches_terminator(insts: List[Instruction], terminator: Opcode) -> bool:
-    """Whether ``terminator`` is reachable from instruction 0 under the
-    softcore's control flow (branches may or may not be taken)."""
-    if not insts:
-        return False
-    seen = set()
-    frontier = [0]
-    while frontier:
-        pc = frontier.pop()
-        if pc in seen or not 0 <= pc < len(insts):
-            continue
-        seen.add(pc)
-        inst = insts[pc]
-        if inst.opcode is terminator:
-            return True
-        if inst.opcode in BRANCH_OPCODES and isinstance(inst.target, int):
-            frontier.append(inst.target)
-            if inst.opcode is not Opcode.JMP:
-                frontier.append(pc + 1)
-        else:
-            frontier.append(pc + 1)
-    return False
+def _anchored(severity: str, code: str, message: str, section: Section,
+              index: int, insts: List[Instruction]) -> Finding:
+    return Finding(severity, code, message, section, index,
+                   detail=disassemble_instruction(insts[index]))
 
 
 def verify_program(program: Program, n_registers: int = 256,
-                   schemas=None) -> VerificationReport:
+                   schemas=None, n_workers: Optional[int] = None
+                   ) -> VerificationReport:
     """Statically verify ``program``; finalises it first if needed.
 
     ``schemas`` is an optional :class:`repro.mem.schema.Catalog`; when
-    given, DB-instruction table references are checked against it.
+    given, DB-instruction table references are checked against it and
+    the partition-provenance warnings are enabled (``n_workers``
+    additionally lets pinned keys name their concrete partition).
     """
+    # Imported lazily: repro.analysis is a client of this module's
+    # Finding API, and importing it at module scope would make the
+    # package import order load-bearing.
+    from ..analysis.cfg import build_all_cfgs
+    from ..analysis.dataflow import FlowGraph
+    from ..analysis.liveness import dead_gp_writes, uncollected_cps
+    from ..analysis.protocol import check_commit_protocol
+    from ..analysis.provenance import analyze_partitions
+
     if not program.finalized:
         program.finalize()
     report = VerificationReport(program_name=program.name)
     add = report.findings.append
 
+    # ---- register footprint (admission would reject it anyway) --------
     if program.gp_needed > n_registers:
         add(Finding("error", "register-pressure",
                     f"needs {program.gp_needed} GP registers, softcore "
@@ -153,53 +176,132 @@ def verify_program(program: Program, n_registers: int = 256,
                     f"needs {program.cp_needed} CP registers, softcore "
                     f"has {n_registers}"))
 
-    dispatched = _dispatched_cps(program)
-    known_tables = (None if schemas is None
-                    else {s.table_id for s in schemas})
+    # ---- CFG construction: structural checks --------------------------
+    cfgs = build_all_cfgs(program)
+    for section, cfg in cfgs.items():
+        for index, target in cfg.bad_targets:
+            add(_anchored("error", "branch-out-of-range",
+                          f"target {target} outside section of "
+                          f"{len(cfg.insts)} instructions",
+                          section, index, cfg.insts))
 
-    for which in Section:
-        insts = program.section(which)
-        for i, inst in enumerate(insts):
-            op = inst.opcode
-            if op in BRANCH_OPCODES and isinstance(inst.target, int):
-                if not 0 <= inst.target <= len(insts):
-                    add(Finding("error", "branch-out-of-range",
-                                f"target {inst.target} outside section of "
-                                f"{len(insts)} instructions", which, i))
-            if op is Opcode.COMMIT and which is Section.LOGIC:
-                add(Finding("error", "commit-in-logic",
-                            "COMMIT is only legal in a commit handler "
-                            "(the logic section exits by falling through)",
-                            which, i))
-            if op in (Opcode.RET, Opcode.RETN) and inst.cp is not None:
-                if inst.cp.n not in dispatched:
-                    add(Finding("error", "ret-unwritten-cp",
-                                f"collects c{inst.cp.n} but no DB "
-                                f"instruction writes it — the softcore "
-                                f"would wait forever", which, i))
-            if inst.is_db and which is not Section.LOGIC:
-                add(Finding("warning", "db-outside-logic",
-                            f"{op.value} dispatched from the "
-                            f"{which.value} handler bypasses the commit "
-                            f"protocol", which, i))
-            if (op is Opcode.SCAN and isinstance(inst.a, Imm)
-                    and inst.a.value is not None
-                    and isinstance(inst.a.value, int) and inst.a.value < 1):
-                add(Finding("warning", "scan-count",
-                            f"SCAN count {inst.a.value} never yields rows",
-                            which, i))
-            if (inst.is_db and known_tables is not None
-                    and inst.table not in known_tables):
-                add(Finding("error", "unknown-table",
-                            f"{op.value} references table {inst.table} "
-                            f"which the catalog does not define", which, i))
-
-    if program.commit and not _reaches_terminator(program.commit, Opcode.COMMIT):
+    if program.commit and not cfgs[Section.COMMIT].reaches_opcode(Opcode.COMMIT):
         add(Finding("error", "missing-commit",
                     "commit handler can never reach COMMIT; the block's "
                     "status would never be finalised", Section.COMMIT, 0))
-    if program.abort and not _reaches_terminator(program.abort, Opcode.ABORT):
+    if program.abort and not cfgs[Section.ABORT].reaches_opcode(Opcode.ABORT):
         add(Finding("error", "missing-abort",
                     "abort handler can never reach ABORT; rollback would "
                     "never run", Section.ABORT, 0))
+
+    # ---- per-instruction scans over the CFG ---------------------------
+    known_tables = (None if schemas is None
+                    else {s.table_id for s in schemas})
+    for section, cfg in cfgs.items():
+        insts = cfg.insts
+        for i, inst in enumerate(insts):
+            op = inst.opcode
+            if op is Opcode.COMMIT and section is Section.LOGIC:
+                add(_anchored("error", "commit-in-logic",
+                              "COMMIT is only legal in a commit handler "
+                              "(the logic section exits by falling "
+                              "through)", section, i, insts))
+            if inst.is_db and section is not Section.LOGIC:
+                add(_anchored("warning", "db-outside-logic",
+                              f"{op.value} dispatched from the "
+                              f"{section.value} handler bypasses the "
+                              f"commit protocol", section, i, insts))
+            if (op is Opcode.SCAN and isinstance(inst.a, Imm)
+                    and inst.a.value is not None
+                    and isinstance(inst.a.value, int) and inst.a.value < 1):
+                add(_anchored("warning", "scan-count",
+                              f"SCAN count {inst.a.value} never yields "
+                              f"rows", section, i, insts))
+            if (inst.is_db and known_tables is not None
+                    and inst.table not in known_tables):
+                add(_anchored("error", "unknown-table",
+                              f"{op.value} references table {inst.table} "
+                              f"which the catalog does not define",
+                              section, i, insts))
+
+    # ---- dataflow proofs ----------------------------------------------
+    graph = FlowGraph(program, cfgs)
+
+    protocol = check_commit_protocol(program, graph)
+    for node in protocol.unwritten_rets:
+        insts = program.section(node.section)
+        cp = insts[node.index].cp
+        add(_anchored("error", "ret-unwritten-cp",
+                      f"collects c{cp.n} but no DB instruction writes it "
+                      f"— the softcore would wait forever",
+                      node.section, node.index, insts))
+    for node, _pending in protocol.unready_rets:
+        insts = program.section(node.section)
+        cp = insts[node.index].cp
+        add(_anchored("error", "ret-unready-cp",
+                      f"collects c{cp.n}, but on some path to this RET "
+                      f"no un-collected dispatch has written it — the "
+                      f"softcore can park on wait_valid forever",
+                      node.section, node.index, insts))
+    for node in protocol.redispatches:
+        insts = program.section(node.section)
+        cp = insts[node.index].cp
+        add(_anchored("warning", "redispatch-pending-cp",
+                      f"dispatch may overwrite c{cp.n} while its previous "
+                      f"result is still pending",
+                      node.section, node.index, insts))
+    for prov in protocol.unprotected_writes:
+        node = prov.node
+        insts = program.section(node.section)
+        bad = sorted(o.value for o in prov.intent_opcodes
+                     if o in (Opcode.SEARCH, Opcode.SCAN))
+        add(_anchored("error", "unprotected-write",
+                      f"WRFIELD base can come from a {'/'.join(bad)} "
+                      f"result: in-place write without a write intent "
+                      f"bypasses the dirty mark and the UNDO log",
+                      node.section, node.index, insts))
+    for prov in protocol.untracked_writes:
+        node = prov.node
+        insts = program.section(node.section)
+        add(_anchored("warning", "untracked-write",
+                      "WRFIELD base register is not traceable to any RET "
+                      "— the tuple address provenance is unknown",
+                      node.section, node.index, insts))
+
+    for node in dead_gp_writes(program, graph):
+        insts = program.section(node.section)
+        dst = insts[node.index].dst
+        add(_anchored("warning", "dead-gp-write",
+                      f"r{dst.n} is written but never read before "
+                      f"redefinition or exit",
+                      node.section, node.index, insts))
+    for node in uncollected_cps(program, graph):
+        insts = program.section(node.section)
+        cp = insts[node.index].cp
+        add(_anchored("warning", "uncollected-cp",
+                      f"result in c{cp.n} is never collected by any RET "
+                      f"— the CP slot is held for nothing",
+                      node.section, node.index, insts))
+
+    # ---- partition provenance (needs a schema catalog) -----------------
+    if schemas is not None:
+        summary = analyze_partitions(program, schemas=schemas,
+                                     n_workers=n_workers, graph=graph)
+        for d in summary.pinned:
+            insts = program.section(d.node.section)
+            where = (f"partition {d.partition}" if d.partition is not None
+                     else "one fixed partition")
+            add(_anchored("warning", "partition-pinned-key",
+                          f"key is the compile-time constant "
+                          f"{d.const_key}: always routes to {where} "
+                          f"regardless of the block's home worker",
+                          d.node.section, d.node.index, insts))
+        for d in summary.untracked:
+            insts = program.section(d.node.section)
+            add(_anchored("warning", "partition-untracked-key",
+                          f"{d.opcode.value} key has no input-cell "
+                          f"anchor; reachable partitions cannot be "
+                          f"bounded statically",
+                          d.node.section, d.node.index, insts))
+
     return report

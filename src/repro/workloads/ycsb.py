@@ -184,7 +184,7 @@ class YcsbWorkload:
         if db.config.n_workers != cfg.n_partitions:
             raise ValueError("workload partitions must match db workers")
         db.define_table(self.schema())
-        sizes = set(procedures) or {cfg.reads_per_txn}
+        sizes = sorted(set(procedures) or {cfg.reads_per_txn})
         for n in sizes:
             db.register_procedure(PROC_READ_BASE + n, self.read_procedure(n))
             db.register_procedure(PROC_RMW_BASE + n, self.rmw_procedure(n))

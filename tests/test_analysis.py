@@ -1,0 +1,624 @@
+"""Tests for repro.analysis: CFG, dataflow, the verifier rewritten as
+its client, the partition-ownership analysis, and the determinism lint.
+"""
+
+import pytest
+
+from repro.analysis import (
+    EXIT, FlowGraph, Node, analyze_partitions, build_all_cfgs, build_cfg,
+    check_commit_protocol, dead_gp_writes, def_use_chains, live_cp, live_gp,
+    pending_cps, program_flow, reaching_definitions, static_mlp,
+    uncollected_cps,
+)
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.registry import ResolveError, all_procedures, resolve
+from repro.analysis.report import render_report
+from repro.isa import (
+    Gp, Instruction, Opcode, ProcedureBuilder, Program, Section, assemble_one,
+    disassemble, disassemble_instruction, verify_program,
+)
+from repro.mem.schema import Catalog, IndexKind, TableSchema
+
+
+def catalog(replicated=False):
+    return Catalog([TableSchema(0, "t", index_kind=IndexKind.HASH,
+                                hash_buckets=64, replicated=replicated,
+                                partition_fn=lambda k, n: k % n)])
+
+
+def finalized(b: ProcedureBuilder) -> Program:
+    p = b.build()
+    p.finalize()
+    return p
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+class TestCfg:
+    def looped(self) -> Program:
+        b = ProcedureBuilder("looped")
+        b.mov(0, 0)                 # 0
+        b.label("head")
+        b.cmp(Gp(0), 3)             # 1
+        b.bge("done")               # 2
+        b.add(0, Gp(0), 1)          # 3
+        b.jmp("head")               # 4
+        b.label("done")
+        b.mov(1, 9)                 # 5
+        b.commit_handler()
+        b.commit()
+        return finalized(b)
+
+    def test_blocks_and_edges(self):
+        cfg = build_cfg(self.looped(), Section.LOGIC)
+        # leaders: 0, 1 (branch target), 3 (branch successor), 5 (target)
+        assert [(blk.start, blk.end) for blk in cfg.blocks] == \
+            [(0, 1), (1, 3), (3, 5), (5, 6)]
+        by_start = {blk.start: blk for blk in cfg.blocks}
+        assert sorted(by_start[1].succs) == [by_start[3].bid, by_start[5].bid]
+        assert by_start[3].succs == [by_start[1].bid]      # the back edge
+        assert by_start[5].succs == [EXIT]
+        assert by_start[1].label == "L1"                   # disassembler name
+
+    def test_branch_to_len_is_exit_not_bad(self):
+        b = ProcedureBuilder("tail")
+        b.jmp("end")
+        b.label("end")
+        cfg = build_cfg(finalized(b), Section.LOGIC)
+        assert not cfg.bad_targets
+        assert cfg.blocks[0].succs == [EXIT]
+
+    def test_out_of_range_target_reported(self):
+        p = Program("jumpy")
+        p.logic.append(Instruction(Opcode.JMP, target=99))
+        p.finalize()
+        cfg = build_cfg(p, Section.LOGIC)
+        assert cfg.bad_targets == [(0, 99)]
+
+    def test_dominators(self):
+        cfg = build_cfg(self.looped(), Section.LOGIC)
+        dom = cfg.dominators()
+        by_start = {blk.start: blk.bid for blk in cfg.blocks}
+        # the loop head dominates both the body and the exit block
+        assert by_start[1] in dom[by_start[3]]
+        assert by_start[1] in dom[by_start[5]]
+        assert by_start[3] not in dom[by_start[5]]
+
+    def test_terminator_ends_block(self):
+        b = ProcedureBuilder("term")
+        b.commit_handler()
+        b.commit()
+        b.nop()                      # dead code after COMMIT
+        cfg = build_cfg(finalized(b), Section.COMMIT)
+        assert len(cfg.blocks) == 2
+        assert cfg.blocks[0].succs == []          # COMMIT: flow stops
+        assert cfg.blocks[1].bid not in cfg.reachable()
+
+    def test_cfg_labels_match_disassembly(self):
+        p = self.looped()
+        cfg = build_cfg(p, Section.LOGIC)
+        listing = disassemble(p)
+        targets = {i.target for i in p.logic if isinstance(i.target, int)}
+        for blk in cfg.blocks:
+            if blk.start in targets:   # every jumped-to block is labelled
+                assert f"{blk.label}:" in listing
+
+
+# ---------------------------------------------------------------------------
+# flow graph + dataflow clients
+# ---------------------------------------------------------------------------
+
+class TestDataflow:
+    def test_registers_live_across_sections(self):
+        b = ProcedureBuilder("stitch")
+        b.mov(4, 7)                  # written in logic ...
+        b.commit_handler()
+        b.store(Gp(4), b.at(0))      # ... read in the commit handler
+        b.commit()
+        p = finalized(b)
+        graph = program_flow(p)
+        res = live_gp(p, graph)
+        nid = graph.node_id(Node(Section.LOGIC, 0))
+        assert 4 in res.live_out[nid]
+        assert not dead_gp_writes(p, graph)
+
+    def test_trap_edge_reaches_abort_handler(self):
+        b = ProcedureBuilder("trap")
+        b.mov(2, 5)
+        b.search(cp=0, table=0, key=b.at(0))
+        b.ret(0, 0)                  # may trap to the abort handler
+        b.abort_handler()
+        b.store(Gp(2), b.at(1))      # r2 must be live across the trap
+        b.abort()
+        p = finalized(b)
+        graph = program_flow(p)
+        res = live_gp(p, graph)
+        assert 2 in res.live_out[graph.node_id(Node(Section.LOGIC, 0))]
+
+    def test_reaching_defs_and_chains(self):
+        b = ProcedureBuilder("defs")
+        b.mov(0, 1)                  # 0: def A
+        b.mov(0, 2)                  # 1: def B kills A
+        b.add(1, Gp(0), 3)           # 2: uses B only
+        b.commit_handler()
+        b.commit()
+        p = finalized(b)
+        graph = program_flow(p)
+        reach = reaching_definitions(p, graph)
+        use = graph.node_id(Node(Section.LOGIC, 2))
+        assert reach.defs_of(use, 0) == {graph.node_id(Node(Section.LOGIC, 1))}
+        chains = def_use_chains(p, graph)
+        assert graph.node_id(Node(Section.LOGIC, 0)) not in chains
+
+    def test_pending_cp_must_and_may(self):
+        b = ProcedureBuilder("pend")
+        b.cmp(Gp(0), 0)
+        b.be("skip")
+        b.search(cp=3, table=0, key=b.at(0))
+        b.label("skip")
+        b.ret(1, 3)                  # c3 pending on only one path
+        b.commit_handler()
+        b.commit()
+        p = finalized(b)
+        graph = program_flow(p)
+        res = pending_cps(p, graph)
+        ret_nid = graph.node_id(Node(Section.LOGIC, 3))
+        assert 3 in res.may_in[ret_nid]
+        assert 3 not in res.must_in[ret_nid]
+
+    def test_static_mlp(self):
+        _, p, _ = [x for x in all_procedures() if x[0] == "ycsb_read_4"][0]
+        assert static_mlp(p) == 4    # all four SEARCHes in flight at once
+        b = ProcedureBuilder("serial")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.ret(0, 0)
+        b.search(cp=0, table=0, key=b.at(1))
+        b.ret(1, 0)
+        b.commit_handler()
+        b.commit()
+        assert static_mlp(finalized(b)) == 1
+
+
+# ---------------------------------------------------------------------------
+# verifier checks, positive + negative, on the framework
+# ---------------------------------------------------------------------------
+
+def good_program(name="ok"):
+    b = ProcedureBuilder(name)
+    b.search(cp=0, table=0, key=b.at(0))
+    b.commit_handler()
+    b.ret(0, 0)
+    b.store(Gp(0), b.at(1))
+    b.commit()
+    return b.build()
+
+
+class TestVerifierChecks:
+    def test_good_program_has_zero_findings(self):
+        report = verify_program(good_program())
+        assert report.ok and not report.findings
+
+    def test_register_pressure(self):
+        b = ProcedureBuilder("fat")
+        b.mov(200, 1)
+        assert "register-pressure" in codes(
+            verify_program(b.build(), n_registers=64))
+        assert "register-pressure" not in codes(
+            verify_program(good_program(), n_registers=64))
+
+    def test_branch_out_of_range(self):
+        p = Program("jumpy")
+        p.logic.append(Instruction(Opcode.JMP, target=99))
+        report = verify_program(p)
+        assert "branch-out-of-range" in codes(report)
+        assert "branch-out-of-range" not in codes(verify_program(good_program()))
+
+    def test_commit_in_logic(self):
+        b = ProcedureBuilder("early")
+        b.commit()
+        report = verify_program(b.build())
+        assert "commit-in-logic" in [f.code for f in report.errors]
+
+    def test_ret_unwritten_cp(self):
+        b = ProcedureBuilder("deadlock")
+        b.commit_handler()
+        b.ret(0, 5)
+        b.commit()
+        report = verify_program(b.build())
+        assert "ret-unwritten-cp" in [f.code for f in report.errors]
+
+    def test_ret_unready_cp_on_conditional_dispatch(self):
+        b = ProcedureBuilder("maybe")
+        b.cmp(Gp(0), 0)
+        b.be("skip")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.label("skip")
+        b.ret(1, 0)                  # can hang when the branch is taken
+        b.commit_handler()
+        b.commit()
+        report = verify_program(b.build())
+        assert "ret-unready-cp" in [f.code for f in report.errors]
+        # unconditional dispatch-then-collect is fine
+        assert "ret-unready-cp" not in codes(verify_program(good_program()))
+
+    def test_double_collect_is_unready(self):
+        b = ProcedureBuilder("twice")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.ret(0, 0)
+        b.ret(1, 0)                  # second collect: nothing in flight
+        b.commit_handler()
+        b.commit()
+        report = verify_program(b.build())
+        assert "ret-unready-cp" in [f.code for f in report.errors]
+
+    def test_missing_commit_and_abort(self):
+        b = ProcedureBuilder("nocommit")
+        b.commit_handler()
+        b.nop()
+        assert "missing-commit" in codes(verify_program(b.build()))
+        b = ProcedureBuilder("noabort")
+        b.abort_handler()
+        b.nop()
+        assert "missing-abort" in codes(verify_program(b.build()))
+        assert not {"missing-commit", "missing-abort"} & set(
+            codes(verify_program(good_program())))
+
+    def test_unknown_table(self):
+        b = ProcedureBuilder("ghost")
+        b.search(cp=0, table=7, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        assert "unknown-table" in codes(verify_program(b.build(),
+                                                       schemas=catalog()))
+        assert "unknown-table" not in codes(verify_program(good_program(),
+                                                           schemas=catalog()))
+
+    def test_db_outside_logic_carries_disassembly(self):
+        b = ProcedureBuilder("late")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.insert(cp=1, table=0, key=b.at(1))
+        b.commit()
+        report = verify_program(b.build())
+        assert report.ok
+        f = next(f for f in report.warnings if f.code == "db-outside-logic")
+        assert f.detail == "INSERT c1, t0, @1"
+        assert f.detail in str(f)
+
+    def test_scan_count_carries_disassembly(self):
+        b = ProcedureBuilder("noscan")
+        b.scan(cp=0, table=0, key=b.at(0), count=0, out=b.at(2))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        report = verify_program(b.build())
+        f = next(f for f in report.warnings if f.code == "scan-count")
+        assert f.detail == "SCAN c0, t0, @0, #0, @2"
+
+    def test_dead_gp_write_warning(self):
+        b = ProcedureBuilder("dead")
+        b.mov(3, 42)                 # never read again
+        b.search(cp=0, table=0, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        report = verify_program(b.build())
+        assert report.ok
+        f = next(f for f in report.warnings if f.code == "dead-gp-write")
+        assert f.detail == "MOV r3, #42"
+        # the same MOV, consumed, is clean
+        b = ProcedureBuilder("alive")
+        b.mov(3, 42)
+        b.store(Gp(3), b.at(0))
+        b.commit_handler()
+        b.commit()
+        assert "dead-gp-write" not in codes(verify_program(b.build()))
+
+    def test_load_touch_idiom_is_not_dead(self):
+        # read-only procedures LOAD a field to model DRAM traffic and
+        # discard it; that must not be flagged.
+        b = ProcedureBuilder("touch")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.ret(0, 0)
+        b.load(1, b.fld(0, 0))
+        b.commit_handler()
+        b.commit()
+        assert "dead-gp-write" not in codes(verify_program(b.build()))
+
+    def test_uncollected_cp_warning(self):
+        b = ProcedureBuilder("leak")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.search(cp=1, table=0, key=b.at(1))   # never collected
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        report = verify_program(b.build())
+        assert report.ok
+        assert "uncollected-cp" in codes(report)
+        assert "uncollected-cp" not in codes(verify_program(good_program()))
+
+    def test_redispatch_pending_cp_warning(self):
+        b = ProcedureBuilder("clobber")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.search(cp=0, table=0, key=b.at(1))   # overwrites pending c0
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        assert "redispatch-pending-cp" in codes(verify_program(b.build()))
+
+    def test_unprotected_write_is_fatal(self):
+        b = ProcedureBuilder("dirty")
+        b.search(cp=0, table=0, key=b.at(0))   # read: no write intent
+        b.ret(0, 0)
+        b.wrfield(0, 1, 99)
+        b.commit_handler()
+        b.commit()
+        report = verify_program(b.build())
+        assert "unprotected-write" in [f.code for f in report.errors]
+
+    def test_intent_protected_write_is_clean(self):
+        b = ProcedureBuilder("clean-write")
+        b.update(cp=0, table=0, key=b.at(0))   # UPDATE takes the intent
+        b.ret(0, 0)
+        b.wrfield(0, 1, 99)
+        b.commit_handler()
+        b.commit()
+        report = verify_program(b.build())
+        assert report.ok
+        assert "unprotected-write" not in codes(report)
+
+    def test_untracked_write_base_is_warning(self):
+        # a shipped unit test registers exactly this shape with verify
+        # on, so it must stay a warning, not an error.
+        b = ProcedureBuilder("blind")
+        b.mov(0, 12345678)
+        b.wrfield(0, 0, 1)
+        b.commit_handler()
+        b.commit()
+        report = verify_program(b.build())
+        assert report.ok
+        assert "untracked-write" in codes(report)
+
+
+class TestPartitionChecks:
+    def test_pinned_key_is_flagged(self):
+        b = ProcedureBuilder("mishomed")
+        b.mov(0, 17)                           # compile-time-constant key
+        b.search(cp=0, table=0, key=Gp(0))
+        b.commit_handler()
+        b.ret(1, 0)
+        b.commit()
+        p = b.build()
+        report = verify_program(p, schemas=catalog(), n_workers=4)
+        f = next(f for f in report.warnings if f.code == "partition-pinned-key")
+        assert "partition 1" in f.message      # 17 % 4
+        # without a schema catalog the partition checks stay off
+        assert "partition-pinned-key" not in codes(verify_program(p))
+
+    def test_pinned_via_arithmetic_constant(self):
+        b = ProcedureBuilder("computed-const")
+        b.mov(0, 5)
+        b.mul(1, Gp(0), 3)
+        b.search(cp=0, table=0, key=Gp(1))     # key is always 15
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        summary = analyze_partitions(b.build(), schemas=catalog(), n_workers=4)
+        assert [d.kind for d in summary.dispatches] == ["pinned"]
+        assert summary.dispatches[0].const_key == 15
+        assert summary.dispatches[0].partition == 3
+
+    def test_untracked_key_is_flagged(self):
+        b = ProcedureBuilder("wild")
+        b.search(cp=0, table=0, key=Gp(5))     # r5 holds its entry value
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        report = verify_program(b.build(), schemas=catalog(), n_workers=4)
+        assert "partition-untracked-key" in codes(report)
+
+    def test_replicated_table_is_local(self):
+        b = ProcedureBuilder("rep")
+        b.search(cp=0, table=0, key=17)        # constant key, but replicated
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        summary = analyze_partitions(b.build(), schemas=catalog(True),
+                                     n_workers=4)
+        assert [d.kind for d in summary.dispatches] == ["local"]
+        assert "partition-pinned-key" not in codes(verify_program(
+            b.build(), schemas=catalog(True), n_workers=4))
+
+    def test_field_derived_key_keeps_its_anchor(self):
+        # orderstatus idiom: key loaded from a field of a tuple that was
+        # itself found via input cell @0 — still anchored to @0.
+        b = ProcedureBuilder("chase")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.ret(0, 0)
+        b.load(1, b.fld(0, 2))
+        b.search(cp=1, table=0, key=Gp(1))
+        b.commit_handler()
+        b.ret(2, 1)
+        b.store(Gp(2), b.at(1))
+        b.commit()
+        summary = analyze_partitions(b.build(), schemas=catalog(), n_workers=4)
+        assert [d.kind for d in summary.dispatches] == ["input", "input"]
+        assert summary.dispatches[1].anchors == frozenset({0})
+
+    def test_commit_protocol_proven_for_good_program(self):
+        p = good_program()
+        p.finalize()
+        assert check_commit_protocol(p).proven
+
+
+# ---------------------------------------------------------------------------
+# the sweep: every shipped procedure verifies completely clean
+# ---------------------------------------------------------------------------
+
+class TestProcedureSweep:
+    @pytest.mark.parametrize("name,program,cat",
+                             all_procedures(),
+                             ids=[n for n, _, _ in all_procedures()])
+    def test_shipped_procedure_is_clean(self, name, program, cat):
+        report = verify_program(program, schemas=cat, n_workers=4)
+        assert report.ok, [str(f) for f in report.errors]
+        assert not report.findings, [str(f) for f in report.findings]
+        assert check_commit_protocol(program).proven
+
+    def test_sweep_covers_both_workloads(self):
+        names = [n for n, _, _ in all_procedures()]
+        assert any(n.startswith("tpcc_") for n in names)
+        assert any(n.startswith("ycsb_") for n in names)
+        assert len(names) >= 10
+
+
+# ---------------------------------------------------------------------------
+# registry + report CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_resolve_families(self):
+        for name in ("tpcc_payment", "tpcc_neworder_7", "ycsb_read_3",
+                     "ycsb_rmw_2", "ycsb_scan_5", "ycsb_mix_3r1u"):
+            program, cat = resolve(name)
+            assert program.finalized and len(cat) >= 1
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ResolveError):
+            resolve("tpcc_teleport")
+
+    def test_render_report_sections(self):
+        program, cat = resolve("tpcc_payment")
+        text = render_report(program, schemas=cat, n_workers=4)
+        assert "analysis report: tpcc_payment" in text
+        assert "live-in" in text and "partition summary" in text
+        assert "commit protocol: PROVEN" in text
+        assert "verifier: clean" in text
+
+    def test_main_report_and_list(self, capsys):
+        from repro.analysis.__main__ import main
+        assert main(["report", "ycsb_read_2"]) == 0
+        assert "ycsb_read_2" in capsys.readouterr().out
+        assert main(["list"]) == 0
+        assert "tpcc_payment" in capsys.readouterr().out
+        assert main(["report", "nope"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# disassembler round-trips (satellite)
+# ---------------------------------------------------------------------------
+
+class TestDisassembler:
+    def test_resolved_branches_render_as_labels(self):
+        b = ProcedureBuilder("loopy")
+        b.label("head")
+        b.add(0, Gp(0), 1)
+        b.cmp(Gp(0), 4)
+        b.blt("head")
+        b.commit_handler()
+        b.commit()
+        p = finalized(b)
+        listing = disassemble(p)
+        assert "L0:" in listing and "BLT L0" in listing
+        assert disassemble_instruction(p.logic[2]) == "BLT L0"
+
+    def test_finalized_round_trip(self):
+        p = finalized(ProcedureBuilder("rt")
+                      .search(cp=0, table=1, key=ProcedureBuilder.at(0))
+                      .commit_handler().ret(0, 0).commit()
+                      .abort_handler().abort())
+        again = assemble_one(disassemble(p))
+        again.finalize()
+        assert disassemble(again) == disassemble(p)
+
+    def test_unfinalized_named_labels_round_trip(self):
+        b = ProcedureBuilder("named")
+        b.label("head")
+        b.add(0, Gp(0), 1)
+        b.cmp(Gp(0), 4)
+        b.blt("head")
+        b.commit_handler()
+        b.commit()
+        p = b.program                      # un-finalized: names preserved
+        listing = disassemble(p)
+        assert "head:" in listing and "BLT head" in listing
+        again = assemble_one(listing)
+        p.finalize()
+        again.finalize()
+        assert disassemble(again) == disassemble(p)
+
+
+# ---------------------------------------------------------------------------
+# determinism lint
+# ---------------------------------------------------------------------------
+
+class TestLint:
+    def test_wall_clock(self):
+        hits = lint_source("import time\nt = time.time()\n", "m.py")
+        assert [f.rule for f in hits] == ["wall-clock"]
+        assert not lint_source("import time\n"
+                               "t = time.time()  # det: allow(wall-clock)\n")
+
+    def test_unseeded_random(self):
+        src = ("import random\n"
+               "x = random.randint(0, 5)\n"
+               "r = random.Random()\n"
+               "ok = random.Random(42)\n")
+        assert [f.rule for f in lint_source(src)] == ["unseeded-random"] * 2
+
+    def test_set_order_direct_and_via_binding(self):
+        src = ("def f(xs):\n"
+               "    for v in set(xs):\n"
+               "        print(v)\n")
+        assert [f.rule for f in lint_source(src)] == ["set-order"]
+        src = ("def f(xs):\n"
+               "    sizes = set(xs) or {7}\n"
+               "    for n in sizes:\n"
+               "        print(n)\n")
+        assert [f.rule for f in lint_source(src)] == ["set-order"]
+
+    def test_set_order_exempts_order_free_sinks(self):
+        src = ("def f(xs, a, b):\n"
+               "    for v in sorted(set(xs)):\n"
+               "        print(v)\n"
+               "    total = sum(x for x in {1, 2, 3})\n"
+               "    keys = sorted(k for k in set(a) | set(b))\n"
+               "    fs = frozenset(x for x in {4, 5})\n")
+        assert not lint_source(src)
+
+    def test_set_order_reassigned_binding_not_tracked(self):
+        src = ("def f(xs):\n"
+               "    seq = set(xs)\n"
+               "    seq = sorted(seq)\n"
+               "    for v in seq:\n"
+               "        print(v)\n")
+        assert not lint_source(src)
+
+    def test_fault_latch(self):
+        bad = ("def hook(plan):\n"
+               "    raise plan.crash('site')\n")
+        assert [f.rule for f in lint_source(bad)] == ["fault-latch"]
+        good = ("def hook(plan):\n"
+               "    plan.check_alive()\n"
+               "    raise plan.crash('site')\n")
+        assert not lint_source(good)
+
+    def test_fault_latch_at_module_level(self):
+        bad = "import plan\nraise plan.crash('boot')\n"
+        assert [f.rule for f in lint_source(bad)] == ["fault-latch"]
+
+    def test_skip_file_pragma(self):
+        src = "# det: skip-file\nimport time\nt = time.time()\n"
+        assert not lint_source(src)
+
+    def test_whole_tree_is_clean(self):
+        findings = lint_paths(["src/repro"])
+        assert not findings, [str(f) for f in findings]
