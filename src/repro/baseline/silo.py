@@ -309,18 +309,18 @@ class SiloEngine:
                         body(txn)                       # functional execution
                     except SiloAbort:
                         self._aborted.add()
-                        yield self.engine.timeout(txn.cost_ns)
+                        yield txn.cost_ns
                         continue
-                    yield self.engine.timeout(txn.cost_ns)  # execution time
+                    yield txn.cost_ns                       # execution time
                     pre = txn.cost_ns
                     try:
                         txn.lock_and_validate()
                     except SiloAbort:
                         self._aborted.add()
-                        yield self.engine.timeout(txn.cost_ns - pre)
+                        yield txn.cost_ns - pre
                         continue
                     # hold the locks for the validate/install window
-                    yield self.engine.timeout(txn.cost_ns - pre)
+                    yield txn.cost_ns - pre
                     try:
                         txn.install_and_unlock()
                     except SiloAbort:

@@ -89,7 +89,8 @@ class BionicDB:
     def __init__(self, config: Optional[BionicConfig] = None):
         self.config = config or BionicConfig()
         cfg = self.config
-        self.engine = Engine()
+        self.engine = (cfg.engine_factory() if cfg.engine_factory is not None
+                       else Engine())
         self.clock = ClockDomain(self.engine, cfg.fpga_mhz, name="fpga")
         self.heap = Heap()
         self.stats = StatsRegistry()
@@ -281,7 +282,7 @@ class BionicDB:
         that would otherwise spin the host forever.
         """
         now = self.engine.run(until=until, max_events=max_events)
-        self._check_health(drained=not self.engine._heap)
+        self._check_health(drained=self.engine.idle)
         return now
 
     def _check_health(self, drained: bool = False) -> None:

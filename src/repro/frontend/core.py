@@ -137,7 +137,7 @@ class FrontEnd:
                 req.session.stats.retries += 1
                 backoff = cfg.retry_backoff_ns * (2 ** (req.attempts - 1))
                 if backoff > 0:
-                    yield self.engine.timeout(backoff)
+                    yield backoff
                 req.reset_for_retry(self.engine)
                 continue
             break
@@ -149,7 +149,7 @@ class FrontEnd:
         while True:
             req = yield self.nic.rx.get()
             if rx_ns > 0:
-                yield self.engine.timeout(rx_ns)
+                yield rx_ns
             if req.in_system or req.outcome is not None:
                 # an injected duplicate of an attempt already accepted
                 # (or already terminal) — dedup as a host stack would
@@ -212,7 +212,7 @@ class FrontEnd:
             # BionicCluster.run has no max_events watchdog parameter
             self.db.run(until=until)
         self._check_processes()
-        drained = not self.engine._heap
+        drained = self.engine.idle
         if drained:
             stuck = {f"{s.config.name}/{req.index}": req.block.header.status.value
                      for s in self.sessions for req in s.requests

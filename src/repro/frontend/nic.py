@@ -145,7 +145,7 @@ class Nic:
         self._busy_until = start + self.wire_ns(size)
         arrival = self._busy_until + cfg.propagation_ns
         if arrival > now:
-            yield self.engine.timeout(arrival - now)
+            yield arrival - now
         duplicate = False
         if self.faults is not None:
             from ..faults.plan import NIC_CORRUPT, NIC_DROP, NIC_DUPLICATE

@@ -161,21 +161,18 @@ class ClientSession:
 
     # -- arrival processes ---------------------------------------------------
     def _open_loop(self):
-        engine = self.frontend.engine
         gap_ns = 1e9 / self.config.rate_tps
         for i in range(self.config.n_requests):
             req = self._make(i)
             self.frontend._launch(req)
-            yield engine.timeout(self._rng.expovariate(1.0) * gap_ns)
+            yield self._rng.expovariate(1.0) * gap_ns
 
     def _closed_loop(self, counter):
-        engine = self.frontend.engine
         for i in counter:
             req = self._make(i)
             yield from self.frontend._deliver(req)
             if self.config.think_ns > 0:
-                yield engine.timeout(
-                    self._rng.expovariate(1.0) * self.config.think_ns)
+                yield self._rng.expovariate(1.0) * self.config.think_ns
 
     # -- terminal accounting -------------------------------------------------
     def _record_terminal(self, req: Request) -> None:

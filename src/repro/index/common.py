@@ -60,6 +60,13 @@ def _key_bytes(key: Any) -> bytes:
     return repr(key).encode()
 
 
+#: memo for exactly-typed int/str keys only: those types never compare
+#: equal across types (unlike bool==int or 1.0==1, which would conflate
+#: cache slots for keys with different wire encodings)
+_hash_cache: dict = {}
+_HASH_CACHE_CAP = 1 << 16
+
+
 def sdbm_hash(key: Any) -> int:
     """The Sdbm hash (chosen by the paper for its minimal hardware cost:
     no lookup table, no modulo — shifts and adds only).  The 64-bit
@@ -67,11 +74,18 @@ def sdbm_hash(key: Any) -> int:
     mask/mod without the low-bit clustering raw Sdbm exhibits on short
     binary keys.
     """
+    cacheable = type(key) is int or type(key) is str
+    if cacheable:
+        h = _hash_cache.get(key)
+        if h is not None:
+            return h
     h = 0
     for byte in _key_bytes(key):
         h = (byte + (h << 6) + (h << 16) - h) & 0xFFFFFFFFFFFFFFFF
     h ^= h >> 33
     h ^= h >> 17
+    if cacheable and len(_hash_cache) < _HASH_CACHE_CAP:
+        _hash_cache[key] = h
     return h
 
 

@@ -1,0 +1,39 @@
+"""Host-performance harness for the simulator.
+
+``python -m repro.perf`` measures how fast the host can turn the
+simulation's crank — engine microbenchmarks, end-to-end simulated-ns
+per host-second — and proves, via the cycle-equivalence checker, that
+the hot-path engine (:mod:`repro.sim.engine`) produces bit-identical
+simulated timing to the pre-overhaul reference implementation kept in
+:mod:`repro.perf.refengine`.  Results land in ``BENCH_sim.json``;
+``speedup_vs_reference`` ratios are machine-independent and are what CI
+regresses against.  See ``docs/performance.md``.
+"""
+
+from .equivalence import (
+    GOLDEN_SMOKE,
+    SCENARIOS,
+    equivalence_failures,
+    run_equivalence,
+    tpcc_scenario,
+    tpcc_setup,
+    ycsb_scenario,
+    ycsb_setup,
+)
+from .microbench import run_microbenchmarks
+from .refengine import ReferenceEngine
+from .simspeed import run_simspeed
+
+__all__ = [
+    "GOLDEN_SMOKE",
+    "SCENARIOS",
+    "ReferenceEngine",
+    "equivalence_failures",
+    "run_equivalence",
+    "run_microbenchmarks",
+    "run_simspeed",
+    "tpcc_scenario",
+    "tpcc_setup",
+    "ycsb_scenario",
+    "ycsb_setup",
+]

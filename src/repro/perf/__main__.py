@@ -1,0 +1,135 @@
+"""CLI: measure simulator host performance and write ``BENCH_sim.json``.
+
+Usage::
+
+    python -m repro.perf                       # full run, writes BENCH_sim.json
+    python -m repro.perf --smoke               # CI-sized run
+    python -m repro.perf --out results.json    # alternate output path
+    python -m repro.perf --smoke --check BENCH_sim.json
+                                               # fail on >25% regression of any
+                                               # speedup_vs_reference ratio
+
+The regression check compares ``speedup_vs_reference`` ratios only:
+both engines run in the same process on the same host, so the ratio is
+machine-independent even though absolute rates are not.  Equivalence
+failures (any simulated-timing divergence between the engines, or from
+the checked-in golden constants) always fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+from .equivalence import equivalence_failures, run_equivalence
+from .microbench import run_microbenchmarks
+from .simspeed import run_simspeed
+
+#: a ratio may degrade to this fraction of its baseline before CI fails
+REGRESSION_FLOOR = 0.75
+
+SCHEMA = "repro.perf/v1"
+
+
+def _collect_speedups(results: Dict) -> Dict[str, float]:
+    out = {}
+    for section in ("microbench", "simspeed"):
+        for name, entry in results.get(section, {}).items():
+            ratio = entry.get("speedup_vs_reference")
+            if ratio is not None:
+                out[f"{section}.{name}"] = ratio
+    return out
+
+
+def check_regressions(results: Dict, baseline: Dict) -> list:
+    """Compare speedup ratios against a baseline file's; list failures."""
+    failures = []
+    current = _collect_speedups(results)
+    reference = _collect_speedups(baseline)
+    for key, base_ratio in reference.items():
+        now_ratio = current.get(key)
+        if now_ratio is None:
+            failures.append(f"{key}: present in baseline but not measured")
+            continue
+        if now_ratio < base_ratio * REGRESSION_FLOOR:
+            failures.append(
+                f"{key}: speedup_vs_reference {now_ratio:.2f} regressed "
+                f">25% from baseline {base_ratio:.2f}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="simulator host-performance bench + cycle-equivalence")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller scenarios, same checks)")
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="output path (default: BENCH_sim.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="baseline BENCH_sim.json to regress against")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per bench (best-of, default 3)")
+    args = parser.parse_args(argv)
+
+    print("repro.perf: cycle-equivalence ...", flush=True)
+    equivalence = run_equivalence(scale=1)
+    eq_failures = equivalence_failures(equivalence)
+
+    print("repro.perf: microbenchmarks ...", flush=True)
+    micro = run_microbenchmarks(smoke=args.smoke, repeats=args.repeats)
+    print("repro.perf: end-to-end sim-speed ...", flush=True)
+    speed = run_simspeed(smoke=args.smoke, repeats=args.repeats)
+
+    results = {
+        "schema": SCHEMA,
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": args.repeats,
+        "equivalence": equivalence,
+        "microbench": micro,
+        "simspeed": speed,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"repro.perf: wrote {args.out}")
+
+    for name, entry in micro.items():
+        print(f"  micro {name:<16s} {entry['rate_per_sec']:>12,.0f}/s   "
+              f"speedup vs reference {entry['speedup_vs_reference']:.2f}x")
+    for name, entry in speed.items():
+        extra = (f"{entry['sim_ns_per_host_sec']:,.0f} sim-ns/host-s"
+                 if "sim_ns_per_host_sec" in entry else
+                 f"{entry['host_seconds']*1e3:.1f} ms")
+        print(f"  speed {name:<16s} {extra:>24s}   "
+              f"speedup vs reference {entry['speedup_vs_reference']:.2f}x")
+
+    failed = False
+    if eq_failures:
+        failed = True
+        print("repro.perf: CYCLE-EQUIVALENCE FAILURES:", file=sys.stderr)
+        for failure in eq_failures:
+            print(f"  {failure}", file=sys.stderr)
+    else:
+        print("repro.perf: cycle-equivalence OK "
+              "(fast == reference == golden)")
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        reg_failures = check_regressions(results, baseline)
+        if reg_failures:
+            failed = True
+            print("repro.perf: PERFORMANCE REGRESSIONS:", file=sys.stderr)
+            for failure in reg_failures:
+                print(f"  {failure}", file=sys.stderr)
+        else:
+            print(f"repro.perf: no regression vs {args.check}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Cycle-equivalence: the hot-path overhaul must not move a single event.
+
+The contract of the :mod:`repro.sim.engine` rewrite is that it changes
+*host* cost only — every simulated quantity is bit-identical to the
+pre-overhaul engine.  This module proves it two ways:
+
+* **Live comparison** — replay a seeded scenario on the production
+  :class:`~repro.sim.engine.Engine` and on the preserved
+  :class:`~repro.perf.refengine.ReferenceEngine` and require identical
+  ``events_fired``, ``Engine.now``, commit/abort counts and a hash over
+  every per-transaction commit timestamp.
+* **Golden constants** — the same fingerprints captured from the
+  pre-overhaul engine are checked in below (:data:`GOLDEN_SMOKE`), so
+  equivalence is anchored to history, not merely to whatever the
+  reference copy happens to compute today.
+
+Scenarios are deterministic: fixed seeds, no wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional
+
+from ..core import BionicConfig, BionicDB
+from ..workloads import TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload
+from .refengine import ReferenceEngine
+
+__all__ = ["GOLDEN_SMOKE", "SCENARIOS", "ycsb_setup", "ycsb_scenario",
+           "tpcc_setup", "tpcc_scenario", "run_equivalence",
+           "equivalence_failures"]
+
+#: fingerprints of the smoke scenarios captured on the pre-overhaul
+#: engine (the heap-only event loop this PR replaced), before any fast
+#: path landed — the anchor the live engines are compared against
+GOLDEN_SMOKE = {
+    "ycsb_smoke": {
+        "events_fired": 18477,
+        "now_ns": 187368.0,
+        "committed": 57,
+        "aborted": 3,
+        "commit_hash":
+            "e7bc04fef889d3e929575dd860443e08a9e965b7e645238f5709320a1025fc35",
+    },
+    "tpcc_smoke": {
+        "events_fired": 40334,
+        "now_ns": 530656.0,
+        "committed": 24,
+        "aborted": 63,
+        "commit_hash":
+            "bc978ca2d2c04e903222919cead95159309d178c46a89346555774f06f3118b9",
+    },
+}
+
+
+def _digest(commits: list) -> str:
+    return hashlib.sha256(repr(commits).encode("utf-8")).hexdigest()
+
+
+def _fingerprint(db: BionicDB, report, blocks) -> Dict[str, object]:
+    commits = [(b.txn_id, b.done_at_ns) for b in blocks
+               if getattr(b, "done_at_ns", None) is not None]
+    return {
+        "events_fired": db.engine.events_fired,
+        "now_ns": db.engine.now,
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "commit_hash": _digest(commits),
+    }
+
+
+def ycsb_setup(engine_factory: Optional[Callable] = None, scale: int = 1):
+    """Build the YCSB scenario; returns ``(db, run)`` where ``run()``
+    executes the seeded transaction mix and returns its fingerprint.
+
+    Split from the run phase so :mod:`repro.perf.simspeed` can time the
+    simulation loop separately from timing-free data loading.
+    """
+    n = 40 * scale
+    wl = YcsbWorkload(YcsbConfig(records_per_partition=2000, n_partitions=2,
+                                 reads_per_txn=8, seed=7))
+    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory))
+    wl.install(db)
+    specs = wl.make_read_txns(n) + wl.make_rmw_txns(n // 2)
+
+    def run() -> Dict[str, object]:
+        report, blocks = wl.submit_all(db, specs)
+        return _fingerprint(db, report, blocks)
+
+    return db, run
+
+
+def ycsb_scenario(engine_factory: Optional[Callable] = None,
+                  scale: int = 1) -> Dict[str, object]:
+    """Seeded YCSB mix (reads + RMWs) on a 2-worker machine."""
+    _db, run = ycsb_setup(engine_factory, scale)
+    return run()
+
+
+def tpcc_setup(engine_factory: Optional[Callable] = None, scale: int = 1):
+    """Build the TPC-C scenario; returns ``(db, run)`` (see ycsb_setup)."""
+    n = 24 * scale
+    wl = TpccWorkload(TpccConfig(n_partitions=2, customers_per_district=40,
+                                 items=400, seed=11))
+    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory))
+    wl.install(db)
+    specs = wl.make_mix(n)
+
+    def run() -> Dict[str, object]:
+        report, blocks = wl.submit_all(db, specs, retry=True)
+        return _fingerprint(db, report, blocks)
+
+    return db, run
+
+
+def tpcc_scenario(engine_factory: Optional[Callable] = None,
+                  scale: int = 1) -> Dict[str, object]:
+    """Seeded TPC-C NewOrder+Payment mix with retry-to-commit."""
+    _db, run = tpcc_setup(engine_factory, scale)
+    return run()
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "ycsb_smoke": ycsb_scenario,
+    "tpcc_smoke": tpcc_scenario,
+}
+
+
+def run_equivalence(scale: int = 1) -> Dict[str, Dict[str, object]]:
+    """Replay every scenario on both engines and compare fingerprints.
+
+    Returns, per scenario: the fast-engine and reference-engine
+    fingerprints, whether they match each other, and (at scale 1)
+    whether the fast engine matches the checked-in golden constants.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for name, scenario in SCENARIOS.items():
+        fast = scenario(None, scale)
+        ref = scenario(ReferenceEngine, scale)
+        entry: Dict[str, object] = {
+            "fast": fast,
+            "reference": ref,
+            "match": fast == ref,
+        }
+        if scale == 1:
+            entry["golden_match"] = fast == GOLDEN_SMOKE[name]
+        out[name] = entry
+    return out
+
+
+def equivalence_failures(results: Dict[str, Dict[str, object]]) -> List[str]:
+    """Human-readable mismatch descriptions; empty list means equivalent."""
+    failures: List[str] = []
+    for name, entry in results.items():
+        if not entry["match"]:
+            failures.append(
+                f"{name}: fast engine diverged from reference engine — "
+                f"fast={entry['fast']} reference={entry['reference']}")
+        if not entry.get("golden_match", True):
+            failures.append(
+                f"{name}: fast engine diverged from checked-in golden "
+                f"values — fast={entry['fast']} golden={GOLDEN_SMOKE[name]}")
+    return failures

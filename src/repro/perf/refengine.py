@@ -1,0 +1,268 @@
+"""The pre-overhaul event loop, kept alive as the cycle-equivalence oracle.
+
+This module preserves the straightforward heap-of-events engine that
+:mod:`repro.sim.engine` replaced with its zero-allocation hot paths.  It
+exists so the equivalence checker (:mod:`repro.perf.equivalence`) and the
+benchmarks (:mod:`repro.perf.simspeed`) can run the *same* workload on
+the old and new scheduling cores and assert bit-identical simulated
+timing — identical ``events_fired``, identical ``Engine.now``, identical
+per-transaction commit timestamps — while measuring the host-side
+speedup.
+
+Fidelity rules
+--------------
+* The run loop, heap layout (``(when, seq, event)`` 3-tuples) and
+  ``_fire`` are verbatim copies of the old engine.
+* ``process()`` returns the old relay-event :class:`_LegacyProcess`:
+  starting, resuming an already-triggered yield, throwing, and numeric
+  delays each allocate the Event (+ lambda / Timeout) the old engine
+  allocated, so both the event *count* and the host *cost* are honest.
+* The post-overhaul closure-free entry points (``call_fn_at`` /
+  ``_schedule_fn``) are implemented the way the old engine would have
+  spelled them — one relay ``Event`` plus one lambda each — because
+  callers (e.g. :class:`repro.sim.memory.MemoryPort`) now use them
+  unconditionally.  One old event per new callback keeps
+  ``events_fired`` aligned between the two engines.
+
+Event/Timeout/AllOf/AnyOf are shared with the new engine: their
+behaviour is driven entirely by the engine's ``_dispatch``/
+``_schedule_at``, which this class provides in legacy form.  (Timeout
+pooling lives in the new ``Engine._fire``; the legacy ``_fire`` below
+never recycles, so allocation behaviour matches the old engine too.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulatedCrash
+from ..sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+__all__ = ["ReferenceEngine"]
+
+
+class _LegacyProcess(Event):
+    """The old Process: relay-event resumptions, O(n) interrupt detach."""
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, engine: "ReferenceEngine", gen: Generator, name: str = ""):
+        super().__init__(engine)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        start = Event(engine)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        self._throw_in(Interrupt(cause))
+
+    def kill(self, exc: BaseException) -> None:
+        if not isinstance(exc, BaseException):
+            raise TypeError("kill() requires an exception instance")
+        self._throw_in(exc)
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        kicker = Event(self.engine)
+        kicker.callbacks.append(lambda ev: self._step(exc, throw=True))
+        kicker.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(event._exc, throw=True)
+        else:
+            self._step(event._value, throw=False)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        if self.triggered:
+            return
+        try:
+            if throw:
+                yielded = self._gen.throw(value)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self.fail(exc)
+            return
+        try:
+            event = self._coerce(yielded)
+        except SimulationError as exc:
+            self.fail(exc)
+            return
+        self._waiting_on = event
+        if event.triggered:
+            relay = Event(self.engine)
+            relay.callbacks.append(lambda _ev: self._resume(event))
+            relay.succeed(None)
+        else:
+            event.callbacks.append(self._resume)
+
+    def _coerce(self, yielded: Any) -> Event:
+        if isinstance(yielded, Event):
+            return yielded
+        if isinstance(yielded, (int, float)):
+            return Timeout(self.engine, yielded)
+        raise SimulationError(
+            f"process {self.name!r} yielded {yielded!r}; expected Event or delay"
+        )
+
+
+class ReferenceEngine:
+    """Drop-in engine with the old heap-only scheduling core.
+
+    Install with ``BionicConfig(engine_factory=ReferenceEngine)``.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self.events_fired: int = 0
+        self.crash_at_fired: Optional[int] = None
+        self._halted = False
+
+    # -- public API ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> _LegacyProcess:
+        return _LegacyProcess(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self.now:
+            raise SimulationError(f"call_at in the past: {when} < {self.now}")
+        ev = Event(self)
+        ev.callbacks.append(lambda _e: fn())
+        self._schedule_at(when, ev)
+        ev.triggered = True
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    def call_fn_at(self, when: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        if when < self.now:
+            raise SimulationError(f"call_at in the past: {when} < {self.now}")
+        self._schedule_fn(when, fn, arg)
+
+    @property
+    def idle(self) -> bool:
+        return not self._heap
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        fired = 0
+        self._halted = False
+        while self._heap and not self._halted:
+            when, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"watchdog: {fired} events fired without the heap "
+                    f"draining — runaway process?", now_ns=self.now,
+                    pending=len(self._heap))
+            heapq.heappop(self._heap)
+            self.now = when
+            fired += 1
+            self._fire(event)
+            self._maybe_crash()
+        if until is not None and not self._halted:
+            self.now = max(self.now, until)
+        return self.now
+
+    def halt(self) -> None:
+        self._halted = True
+
+    def run_until_done(self, done: Event, limit: float = float("inf"),
+                       max_events: Optional[int] = None) -> float:
+        fired = 0
+        self._halted = False
+        while not done.triggered:
+            if self._halted:
+                return self.now
+            if not self._heap:
+                raise SimulationError("deadlock: event heap drained before done")
+            when, _seq, event = self._heap[0]
+            if when > limit:
+                raise SimulationError(f"time limit {limit} exceeded")
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"watchdog: {fired} events fired before done triggered "
+                    f"— runaway process?", now_ns=self.now,
+                    pending=len(self._heap))
+            heapq.heappop(self._heap)
+            self.now = when
+            fired += 1
+            self._fire(event)
+            self._maybe_crash()
+        return self.now
+
+    def _maybe_crash(self) -> None:
+        if (self.crash_at_fired is not None
+                and self.events_fired >= self.crash_at_fired):
+            self.crash_at_fired = None
+            raise SimulatedCrash("injected machine crash",
+                                 site="machine.crash",
+                                 events_fired=self.events_fired,
+                                 now_ns=self.now)
+
+    # -- internal --------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        event._scheduled = True
+        heapq.heappush(self._heap, (when, self._seq, event))
+
+    def _schedule_fn(self, when: float, fn: Callable[[Any], None],
+                     arg: Any) -> None:
+        # The old engine's spelling of a deferred callback: one relay
+        # event, one lambda.  One fired event here per one fired
+        # callback on the new engine keeps events_fired comparable.
+        ev = Event(self)
+        ev.callbacks.append(lambda _e, _fn=fn, _arg=arg: _fn(_arg))
+        self._schedule_at(when, ev)
+        ev.triggered = True
+
+    def _dispatch(self, event: Event) -> None:
+        if event._scheduled:
+            return
+        self._schedule_at(self.now, event)
+
+    def _fire(self, event: Event) -> None:
+        self.events_fired += 1
+        if isinstance(event, Timeout):
+            event.triggered = True
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)

@@ -7,7 +7,7 @@ budgets from the paper translate into a shared nanosecond timeline.
 
 from __future__ import annotations
 
-from .engine import Engine, Timeout
+from .engine import Engine
 
 __all__ = ["ClockDomain"]
 
@@ -29,9 +29,15 @@ class ClockDomain:
         """Cycles elapsed in ``ns`` nanoseconds."""
         return ns / self.ns_per_cycle
 
-    def delay(self, cycles: float) -> Timeout:
-        """An event that fires ``cycles`` cycles from now."""
-        return self.engine.timeout(self.ns(cycles))
+    def delay(self, cycles: float) -> float:
+        """A delay of ``cycles`` cycles, for yielding from a process.
+
+        Returns the plain nanosecond figure rather than a Timeout
+        event: the engine's numeric-delay fast path schedules the
+        resumption without allocating an event object, and the timing
+        is identical either way.
+        """
+        return self.ns(cycles)
 
     @property
     def now_cycles(self) -> float:

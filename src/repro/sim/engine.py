@@ -10,11 +10,43 @@ The design follows the familiar SimPy structure but is implemented from
 scratch so the simulation core has no external dependencies and stays
 small enough to audit.  Time is a float measured in **nanoseconds**;
 clock domains (:mod:`repro.sim.clock`) convert cycles to nanoseconds.
+
+Hot-path layout
+---------------
+The engine executes tens of thousands of host operations per simulated
+microsecond, so the scheduling core is written for throughput while
+keeping the *simulated* timing bit-identical to the straightforward
+heap-of-events implementation it replaced
+(:mod:`repro.perf.refengine` keeps that implementation alive as the
+cycle-equivalence oracle):
+
+* Work items are ``(when, seq, fn, arg)`` tuples; firing one is a
+  single call ``fn(arg)``.  Full :class:`Event` objects only exist
+  where the API hands one to user code — internal resumptions (process
+  kicks, delay wake-ups, memory completions) are scheduled closure-free
+  through :meth:`Engine._schedule_fn` with a *pre-bound* method, so the
+  common case allocates one tuple instead of an ``Event`` + ``list`` +
+  ``lambda`` + bound method.
+* Work due at the **current** time goes onto a FIFO ready-deque instead
+  of round-tripping through the heap.  Heap entries carrying the same
+  timestamp always predate (in sequence order) anything on the deque —
+  they were pushed before the clock reached that instant, and same-time
+  scheduling never touches the heap — so the run loop's merge preserves
+  the exact global FIFO order the sequence-numbered heap produced.
+* Value-less :class:`Timeout` objects are pooled: once fired, a bare
+  timeout is inert (its value is ``None`` forever), so the engine
+  recycles it for the next ``timeout()`` call.  Hold on to a fired
+  value-less timeout only to ignore it.
+* A process that yields a plain number never materialises a Timeout at
+  all: the resumption is scheduled as a callback guarded by a per-wait
+  epoch (the epoch is also the O(1) interrupt tombstone).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import BionicError, SimulatedCrash
@@ -43,6 +75,18 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+def _invoke(fn: Callable[[], None]) -> None:
+    """Adapter so zero-argument ``call_at`` thunks fit ``fn(arg)`` items."""
+    fn()
+
+
+#: marker for a process waiting on an anonymous numeric delay (no Event)
+_DELAY = object()
+
+#: upper bound on the value-less Timeout free list
+_TIMEOUT_POOL_CAP = 128
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -52,6 +96,9 @@ class Event:
     """
 
     __slots__ = ("engine", "callbacks", "_value", "_exc", "triggered", "_scheduled")
+
+    #: class-level default; only pooled Timeouts override it
+    _pooled = False
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -95,15 +142,24 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically ``delay`` time units from now."""
+    """An event that fires automatically ``delay`` time units from now.
 
-    __slots__ = ()
+    Value-less timeouts (``value is None``) are recycled through the
+    engine's free list after they fire: a fired bare timeout is inert,
+    so the object may be reused as a *new* pending timeout by a later
+    ``engine.timeout()`` call.  Do not cache a fired value-less timeout
+    and expect its flags to stay frozen; timeouts carrying a value are
+    never pooled.
+    """
+
+    __slots__ = ("_pooled",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         super().__init__(engine)
         self._value = value
+        self._pooled = value is None
         engine._schedule_at(engine.now + delay, self)
 
 
@@ -113,19 +169,29 @@ class Process(Event):
     The generator's ``return`` value becomes the event value.  If the
     generator raises, the process event fails with that exception, which
     propagates to any process waiting on it.
+
+    ``_resume`` / ``_delay_cb`` hold bound methods created once at
+    construction so the wait/wake cycle never re-binds them;
+    ``_delay_epoch`` tombstones stale delay wake-ups in O(1) and
+    ``_dead`` tombstones one stale event callback after an interrupt
+    (replacing the old O(n) ``callbacks.remove`` scan).
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "name", "_resume", "_delay_cb",
+                 "_dead", "_delay_epoch")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
         super().__init__(engine)
         self._gen = gen
         self._waiting_on: Optional[Event] = None
+        self._dead: Optional[Event] = None
+        self._delay_epoch = 0
         self.name = name or getattr(gen, "__name__", "process")
+        self._resume: Callable = self._do_resume
+        self._delay_cb: Callable = self._delay_resume
         # Kick off on the next dispatch round at the current time.
-        start = Event(engine)
-        start.callbacks.append(self._resume)
-        start.succeed(None)
+        seq = engine._seq = engine._seq + 1
+        engine._ready.append((seq, self._kick, None))
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -146,65 +212,105 @@ class Process(Event):
         if self.triggered:
             return
         target = self._waiting_on
-        if target is not None and not target.triggered:
-            if target.callbacks is not None and self._resume in target.callbacks:
-                target.callbacks.remove(self._resume)
+        if target is _DELAY:
+            # O(1) tombstone: the pending wake-up's epoch no longer matches
+            self._delay_epoch += 1
+        elif (target is not None and not target.triggered
+                and target.callbacks is not None):
+            # O(1) tombstone: _do_resume swallows one firing of this event
+            self._dead = target
         self._waiting_on = None
-        kicker = Event(self.engine)
-        kicker.callbacks.append(lambda ev: self._step(exc, throw=True))
-        kicker.succeed(None)
+        engine = self.engine
+        engine._schedule_fn(engine.now, self._throw_step, exc)
 
     # -- internal --------------------------------------------------------
-    def _resume(self, event: Event) -> None:
+    def _kick(self, _arg: Any) -> None:
+        self._step(None, False)
+
+    def _throw_step(self, exc: BaseException) -> None:
+        self._step(exc, True)
+
+    def _delay_resume(self, epoch: int) -> None:
+        if epoch != self._delay_epoch or self.triggered:
+            return
         self._waiting_on = None
-        if event._exc is not None:
-            self._step(event._exc, throw=True)
+        self._step(None, False)
+
+    def _do_resume(self, event: Event) -> None:
+        if event is self._dead:
+            self._dead = None
+            return
+        self._waiting_on = None
+        exc = event._exc
+        if exc is None:
+            self._step(event._value, False)
         else:
-            self._step(event._value, throw=False)
+            self._step(exc, True)
 
     def _step(self, value: Any, throw: bool) -> None:
         if self.triggered:
             return
+        gen = self._gen
         try:
             if throw:
-                yielded = self._gen.throw(value)
+                yielded = gen.throw(value)
             else:
-                yielded = self._gen.send(value)
+                yielded = gen.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate to waiters
             self.fail(exc)
             return
-        try:
-            event = self._coerce(yielded)
-        except SimulationError as exc:
-            self.fail(exc)
+        cls = yielded.__class__
+        if cls is float or cls is int:
+            # inlined _wait_delay: the single hottest path in the system
+            if yielded < 0:
+                raise ValueError(f"negative delay: {yielded}")
+            engine = self.engine
+            self._waiting_on = _DELAY
+            epoch = self._delay_epoch = self._delay_epoch + 1
+            now = engine.now
+            when = now + yielded
+            seq = engine._seq = engine._seq + 1
+            if when == now:
+                engine._ready.append((seq, self._delay_cb, epoch))
+            else:
+                _heappush(engine._heap, (when, seq, self._delay_cb, epoch))
             return
-        self._waiting_on = event
-        if event.triggered:
-            # Already fired: resume on the next dispatch round so other
-            # same-time callbacks run first (prevents starvation loops).
-            relay = Event(self.engine)
-            relay.callbacks.append(lambda _ev: self._resume(event))
-            relay.succeed(None)
-        else:
-            event.callbacks.append(self._resume)
-
-    def _coerce(self, yielded: Any) -> Event:
         if isinstance(yielded, Event):
-            return yielded
-        if isinstance(yielded, (int, float)):
-            return Timeout(self.engine, yielded)
-        raise SimulationError(
+            self._waiting_on = yielded
+            if yielded.triggered:
+                # Already fired: resume on the next dispatch round so other
+                # same-time callbacks run first (prevents starvation loops).
+                engine = self.engine
+                seq = engine._seq = engine._seq + 1
+                engine._ready.append((seq, self._resume, yielded))
+            else:
+                yielded.callbacks.append(self._resume)
+            return
+        if isinstance(yielded, (int, float)):  # bool / exotic numeric types
+            self._wait_delay(yielded)
+            return
+        self.fail(SimulationError(
             f"process {self.name!r} yielded {yielded!r}; expected Event or delay"
-        )
+        ))
+
+    def _wait_delay(self, delay: float) -> None:
+        """Anonymous delay: no Timeout object, just an epoch-guarded wake."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._waiting_on = _DELAY
+        self._delay_epoch += 1
+        engine = self.engine
+        engine._schedule_fn(engine.now + delay, self._delay_cb,
+                            self._delay_epoch)
 
 
 class AllOf(Event):
     """Fires when every child event has fired; value is the list of values."""
 
-    __slots__ = ("_pending", "_events")
+    __slots__ = ("_pending", "_events", "_child_cb")
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
         super().__init__(engine)
@@ -213,11 +319,12 @@ class AllOf(Event):
         if self._pending == 0:
             self.succeed([])
             return
+        cb = self._child_cb = self._on_child
         for ev in self._events:
             if ev.triggered:
                 self._on_child(ev)
             else:
-                ev.callbacks.append(self._on_child)
+                ev.callbacks.append(cb)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
@@ -231,39 +338,66 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires when the first child event fires; value is (event, value)."""
+    """Fires when the first child event fires; value is (event, value).
 
-    __slots__ = ("_events",)
+    When the first child fires, the callbacks registered on the *losing*
+    children are detached, so a long-lived event raced against many
+    short ones does not accumulate dead waiter references.
+    """
+
+    __slots__ = ("_events", "_child_cb")
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
         super().__init__(engine)
         self._events = list(events)
         if not self._events:
             raise ValueError("AnyOf needs at least one event")
+        cb = self._child_cb = self._on_child
         for ev in self._events:
             if ev.triggered:
                 self._on_child(ev)
                 break
-            ev.callbacks.append(self._on_child)
+            ev.callbacks.append(cb)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
+        self._detach_losers(event)
         if event._exc is not None:
             self.fail(event._exc)
             return
         self.succeed((event, event._value))
 
+    def _detach_losers(self, winner: Event) -> None:
+        cb = self._child_cb
+        for ev in self._events:
+            if ev is winner or ev.callbacks is None:
+                continue
+            try:
+                ev.callbacks.remove(cb)
+            except ValueError:
+                pass
+
 
 class Engine:
-    """The event loop: a time-ordered heap of triggered events."""
+    """The event loop: a time-ordered heap plus a same-time ready-deque.
+
+    Work items are ``(when, seq, fn, arg)``; ``fn(arg)`` fires one item.
+    Events fire through the pre-bound ``self._fire``; internal
+    resumptions are scheduled directly as bound-method callbacks.  The
+    ready-deque holds items due at the *current* time in FIFO (sequence)
+    order; heap entries stamped with the current time always carry lower
+    sequence numbers than anything on the deque (see module docstring),
+    so the merge in :meth:`run` reproduces the heap-only firing order
+    exactly.
+    """
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = 0
-        self._dispatching = False
-        self._ready: list = []
+        self._ready: deque = deque()
+        self._timeout_pool: list = []
         #: lifetime count of fired events (watchdog bookkeeping)
         self.events_fired: int = 0
         #: crash hook: when set, the run loop raises
@@ -271,12 +405,25 @@ class Engine:
         #: reaches this count — the whole-machine-dies fault site
         self.crash_at_fired: Optional[int] = None
         self._halted = False
+        self._fire_cb: Callable = self._fire
 
     # -- public API ------------------------------------------------------
     def event(self) -> Event:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        if value is None:
+            pool = self._timeout_pool
+            if pool:
+                if delay < 0:
+                    raise ValueError(f"negative delay: {delay}")
+                t = pool.pop()
+                t.callbacks = []
+                t._value = None
+                t._exc = None
+                t.triggered = False
+                self._schedule_at(self.now + delay, t)
+                return t
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -292,17 +439,31 @@ class Engine:
         """Run ``fn`` at absolute time ``when`` (≥ now)."""
         if when < self.now:
             raise SimulationError(f"call_at in the past: {when} < {self.now}")
-        ev = Event(self)
-        ev.callbacks.append(lambda _e: fn())
-        self._schedule_at(when, ev)
-        ev.triggered = True
+        self._schedule_fn(when, _invoke, fn)
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         self.call_at(self.now + delay, fn)
 
+    def call_fn_at(self, when: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        """Closure-free :meth:`call_at`: run ``fn(arg)`` at ``when``.
+
+        The hot-path variant — the caller passes a pre-bound method and
+        its argument, so no relay lambda (and no closure cell) is ever
+        allocated.
+        """
+        if when < self.now:
+            raise SimulationError(f"call_at in the past: {when} < {self.now}")
+        self._schedule_fn(when, fn, arg)
+
+    @property
+    def idle(self) -> bool:
+        """True when no work is queued (heap and ready-deque drained)."""
+        return not self._heap and not self._ready
+
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
-        """Run until the heap drains or simulated time reaches ``until``.
+        """Run until the queues drain or simulated time reaches ``until``.
 
         ``max_events`` is a watchdog: if more than that many events fire
         in this call, raise :class:`SimulationError` instead of spinning
@@ -317,40 +478,96 @@ class Engine:
         """
         fired = 0
         self._halted = False
-        while self._heap and not self._halted:
-            when, _seq, event = self._heap[0]
-            if until is not None and when > until:
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        unbounded = until is None
+        unwatched = max_events is None
+        while not self._halted:
+            if ready:
+                # Same-time heap entries (lower seq) fire before the deque.
+                if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+                    from_heap = True
+                    when = heap[0][0]
+                else:
+                    from_heap = False
+                    when = self.now
+            elif heap:
+                from_heap = True
+                when = heap[0][0]
+            else:
+                break
+            if not unbounded and when > until:
                 self.now = until
                 return self.now
-            if max_events is not None and fired >= max_events:
+            if not unwatched and fired >= max_events:
                 raise SimulationError(
                     f"watchdog: {fired} events fired without the heap "
                     f"draining — runaway process?", now_ns=self.now,
-                    pending=len(self._heap))
-            heapq.heappop(self._heap)
-            self.now = when
+                    pending=len(heap) + len(ready))
+            if from_heap:
+                when, _seq, fn, arg = heappop(heap)
+                self.now = when
+            else:
+                _seq, fn, arg = ready.popleft()
             fired += 1
-            self._fire(event)
-            self._maybe_crash()
-        if until is not None and not self._halted:
+            self.events_fired += 1
+            fn(arg)
+            if self.crash_at_fired is not None:
+                self._maybe_crash()
+        if not unbounded and not self._halted:
             self.now = max(self.now, until)
         return self.now
 
     def halt(self) -> None:
-        """Stop the current :meth:`run` loop after the firing event's
-        callbacks finish; pending events stay queued for the next run."""
+        """Stop the current :meth:`run` (or :meth:`run_until_done`) loop
+        after the firing event's callbacks finish; pending events stay
+        queued for the next run."""
         self._halted = True
 
-    def run_until_done(self, done: Event, limit: float = float("inf")) -> float:
-        """Run until ``done`` triggers; raise if the heap drains first."""
+    def run_until_done(self, done: Event, limit: float = float("inf"),
+                       max_events: Optional[int] = None) -> float:
+        """Run until ``done`` triggers; raise if the queues drain first.
+
+        Honours the same controls as :meth:`run`: :meth:`halt` stops the
+        loop at the current time (returning with ``done`` possibly still
+        pending) and ``max_events`` is the runaway-process watchdog.
+        """
+        fired = 0
+        self._halted = False
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
         while not done.triggered:
-            if not self._heap:
+            if self._halted:
+                return self.now
+            if ready:
+                if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+                    from_heap = True
+                    when = heap[0][0]
+                else:
+                    from_heap = False
+                    when = self.now
+            elif heap:
+                from_heap = True
+                when = heap[0][0]
+            else:
                 raise SimulationError("deadlock: event heap drained before done")
-            when, _seq, event = heapq.heappop(self._heap)
             if when > limit:
                 raise SimulationError(f"time limit {limit} exceeded")
-            self.now = when
-            self._fire(event)
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"watchdog: {fired} events fired before done triggered "
+                    f"— runaway process?", now_ns=self.now,
+                    pending=len(heap) + len(ready))
+            if from_heap:
+                when, _seq, fn, arg = heappop(heap)
+                self.now = when
+            else:
+                _seq, fn, arg = ready.popleft()
+            fired += 1
+            self.events_fired += 1
+            fn(arg)
             self._maybe_crash()
         return self.now
 
@@ -365,21 +582,47 @@ class Engine:
 
     # -- internal --------------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
-        self._seq += 1
+        seq = self._seq = self._seq + 1
         event._scheduled = True
-        heapq.heappush(self._heap, (when, self._seq, event))
+        if when == self.now:
+            self._ready.append((seq, self._fire_cb, event))
+        else:
+            heapq.heappush(self._heap, (when, seq, self._fire_cb, event))
+
+    def _schedule_fn(self, when: float, fn: Callable[[Any], None],
+                     arg: Any) -> None:
+        seq = self._seq = self._seq + 1
+        if when == self.now:
+            self._ready.append((seq, fn, arg))
+        else:
+            heapq.heappush(self._heap, (when, seq, fn, arg))
 
     def _dispatch(self, event: Event) -> None:
-        """Queue a freshly-triggered event's callbacks at the current time."""
+        """Queue a freshly-triggered event's callbacks at the current time.
+
+        Triggering always queues at ``now``, which always lands on the
+        ready-deque (inlined :meth:`_schedule_at`).
+        """
         if event._scheduled:
-            return  # it is in the heap; callbacks run when popped
-        self._schedule_at(self.now, event)
+            return  # it is queued already; callbacks run when popped
+        event._scheduled = True
+        seq = self._seq = self._seq + 1
+        self._ready.append((seq, self._fire_cb, event))
 
     def _fire(self, event: Event) -> None:
-        self.events_fired += 1
-        if isinstance(event, Timeout):
-            event.triggered = True
-        callbacks, event.callbacks = event.callbacks, None
+        # every event reaching here is either triggered (succeed/fail)
+        # or a Timeout whose trigger is this very firing
+        event.triggered = True
+        callbacks = event.callbacks
+        event.callbacks = None
         if callbacks:
-            for cb in callbacks:
-                cb(event)
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for cb in callbacks:
+                    cb(event)
+        if event._pooled and event._exc is None:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_CAP:
+                event._scheduled = False
+                pool.append(event)

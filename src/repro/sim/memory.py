@@ -130,6 +130,8 @@ class DramModel:
 
     # -- internal: channel arbitration ------------------------------------
     def _issue_time(self, addr: int, earliest: float) -> float:
+        # Kept for compatibility; the hot path in MemoryPort._launch
+        # inlines this arithmetic (same semantics, no method call).
         ch = addr % self.channels
         t = max(earliest, self._channel_free[ch])
         self._channel_free[ch] = t + self.channel_interval_ns
@@ -158,6 +160,10 @@ class MemoryPort:
         self._next_issue = 0.0
         self._pending: Deque[_Request] = deque()
         self.issued = 0
+        # bound once: the closure-free completion path hands these to
+        # Engine.call_fn_at instead of allocating a lambda per request
+        self._launch_cb = self._launch
+        self._complete_cb = self._complete
 
     # -- public operations -------------------------------------------------
     def read(self, addr: int) -> Event:
@@ -205,24 +211,36 @@ class MemoryPort:
         self._outstanding += 1
         self.issued += 1
         now = self.engine.now
-        earliest = max(now, self._next_issue)
-        self._next_issue = earliest + self.issue_interval_ns
-        if earliest > now:
+        nxt = self._next_issue
+        if nxt <= now:
+            # idle-port fast-forward: the issue slot is free right now
+            self._next_issue = now + self.issue_interval_ns
+            self._launch(req)
+        else:
             # wait for the port's issue slot, then arbitrate the channel
             # *at that instant* — reserving channel slots early would let
             # one backlogged port starve other requesters of idle slots.
-            self.engine.call_at(earliest, lambda: self._launch(req))
-        else:
-            self._launch(req)
+            self._next_issue = nxt + self.issue_interval_ns
+            # nxt > now here, so skip call_fn_at's past-check
+            self.engine._schedule_fn(nxt, self._launch_cb, req)
 
     def _launch(self, req: _Request) -> None:
-        t_issue = self.dram._issue_time(req.addr, self.engine.now)
-        t_done = t_issue + self.dram.latency_ns
+        dram = self.dram
+        now = self.engine.now
+        # inline channel arbitration (DramModel._issue_time) with an
+        # analytic fast-forward: an idle channel issues at `now` without
+        # the max() round-trip
+        ch = req.addr % dram.channels
+        free = dram._channel_free[ch]
+        t_issue = free if free > now else now
+        dram._channel_free[ch] = t_issue + dram.channel_interval_ns
         if req.kind == "read":
-            self.dram._reads.add()
+            dram._reads.value += 1
         else:
-            self.dram._writes.add()
-        self.engine.call_at(t_done, lambda: self._complete(req))
+            dram._writes.value += 1
+        # t_issue >= now and latency >= 0, so skip call_fn_at's past-check
+        self.engine._schedule_fn(t_issue + dram.latency_ns,
+                                 self._complete_cb, req)
 
     def _complete(self, req: _Request) -> None:
         heap = self.dram.heap

@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 __all__ = ["Counter", "Histogram", "PercentileHistogram", "StatsRegistry",
            "nearest_rank"]

@@ -49,12 +49,16 @@ class Fifo:
         self.total_put += 1
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
-            getter = self._getters.popleft()
-            getter.succeed(item)
+            self._getters.popleft().succeed(item)
             ev.succeed(None)
-        elif not self.is_full:
-            self._items.append(item)
-            self.max_depth = max(self.max_depth, len(self._items))
+            return ev
+        items = self._items
+        cap = self.capacity
+        if cap is None or len(items) < cap:
+            items.append(item)
+            depth = len(items)
+            if depth > self.max_depth:
+                self.max_depth = depth
             ev.succeed(None)
         else:
             self._putters.append((ev, item))
@@ -66,11 +70,15 @@ class Fifo:
             self._getters.popleft().succeed(item)
             self.total_put += 1
             return True
-        if self.is_full:
+        items = self._items
+        cap = self.capacity
+        if cap is not None and len(items) >= cap:
             return False
-        self._items.append(item)
+        items.append(item)
         self.total_put += 1
-        self.max_depth = max(self.max_depth, len(self._items))
+        depth = len(items)
+        if depth > self.max_depth:
+            self.max_depth = depth
         return True
 
     def get(self) -> Event:
@@ -103,7 +111,9 @@ class Fifo:
         if self._putters and not self.is_full:
             put_ev, item = self._putters.popleft()
             self._items.append(item)
-            self.max_depth = max(self.max_depth, len(self._items))
+            depth = len(self._items)
+            if depth > self.max_depth:
+                self.max_depth = depth
             put_ev.succeed(None)
 
 

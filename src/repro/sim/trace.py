@@ -51,9 +51,9 @@ class Tracer:
     def bind_clock(self, clock) -> None:
         self._clock = clock
 
-    @property
-    def enabled(self) -> bool:
-        return True
+    #: plain class attribute (not a property) so the hot-path guard
+    #: ``if tracer.enabled`` is a single attribute load when disabled
+    enabled = True
 
     def wants(self, category: str) -> bool:
         return self.categories is None or category in self.categories

@@ -313,7 +313,7 @@ class Softcore:
         while ctx.pc < len(insts):
             inst = insts[ctx.pc]
             ctx.pc += 1
-            self._insts.add()
+            self._insts.value += 1
             if self.tracer.enabled:
                 self.tracer.emit(
                     "softcore", f"w{self.worker_id}",
@@ -353,9 +353,9 @@ class Softcore:
             req.scan_out_addr = self._block_addr(ctx, inst.addr)
             req.scan_limit = ctx.block.layout.n_scan
         ctx.note_dispatch()
-        self._db_insts.add()
+        self._db_insts.value += 1
         if dst is not None and dst != self.worker_id:
-            self._remote_insts.add()
+            self._remote_insts.value += 1
         self.dispatch(req, dst)
 
     def _resolve_key(self, ctx: TxnContext, inst: Instruction):

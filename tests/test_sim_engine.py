@@ -264,3 +264,179 @@ def test_nested_processes_compose():
     eng.process(root())
     eng.run()
     assert trace == [(7, 14)]
+
+
+# -- hot-path overhaul regressions -------------------------------------------
+
+def test_run_until_done_honors_halt():
+    eng = Engine()
+    done = Event(eng)
+
+    def stopper():
+        yield 10
+        eng.halt()
+
+    def never_finishes():
+        yield 1_000_000
+        done.succeed()
+
+    eng.process(stopper())
+    eng.process(never_finishes())
+    t = eng.run_until_done(done)
+    assert t == 10
+    assert not done.triggered
+
+
+def test_run_until_done_honors_max_events():
+    # same semantics as run(): max_events is a raising watchdog
+    eng = Engine()
+    done = Event(eng)
+
+    def ticker():
+        while True:
+            yield 1
+
+    eng.process(ticker())
+    with pytest.raises(SimulationError, match="watchdog"):
+        eng.run_until_done(done, max_events=25)
+    assert eng.events_fired == 25
+    assert not done.triggered
+
+
+def test_run_until_done_time_limit_message():
+    eng = Engine()
+    done = Event(eng)
+
+    def ticker():
+        while True:
+            yield 1
+
+    eng.process(ticker())
+    with pytest.raises(SimulationError, match="time limit"):
+        eng.run_until_done(done, limit=50)
+
+
+def test_interrupt_while_waiting_on_event_no_double_resume():
+    # The interrupted process must not also be resumed when the original
+    # event later fires (the O(1) tombstone replaces callbacks.remove).
+    eng = Engine()
+    gate = Event(eng)
+    log = []
+
+    def waiter():
+        try:
+            yield gate
+            log.append("resumed")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+            yield 100
+            log.append("slept")
+
+    def driver(p):
+        yield 5
+        p.interrupt("bored")
+        yield 5
+        gate.succeed("late")
+
+    p = eng.process(waiter())
+    eng.process(driver(p))
+    eng.run()
+    assert log == [("interrupted", "bored"), "slept"]
+
+
+def test_interrupt_during_delay_no_stale_wakeup():
+    # Interrupting a numeric sleep must cancel the pending wakeup (the
+    # delay-epoch check), even if the process immediately sleeps again
+    # across the original wakeup time.
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield 10
+            log.append("full sleep")
+        except Interrupt:
+            yield 20
+            log.append(eng.now)
+
+    def driver(p):
+        yield 4
+        p.interrupt()
+
+    p = eng.process(sleeper())
+    eng.process(driver(p))
+    eng.run()
+    assert log == [24]
+
+
+def test_any_of_detaches_loser_callbacks():
+    eng = Engine()
+    winner = Event(eng)
+    loser = Event(eng)
+    got = []
+
+    def waiter():
+        value = yield eng.any_of([winner, loser])
+        got.append(value)
+
+    eng.process(waiter())
+    eng.run()
+    winner.succeed("w")
+    eng.run()
+    assert got == [(winner, "w")]
+    # the AnyOf must have removed itself from the losing event
+    assert loser.callbacks == []
+
+
+def test_timeout_pool_recycles_plain_timeouts():
+    eng = Engine()
+
+    def sleeper():
+        yield 5
+        yield 5
+
+    eng.process(sleeper())
+    eng.run()
+    first = eng.timeout(3)
+    eng.run()
+    second = eng.timeout(7)
+    # a fired value-less Timeout is recycled for the next request
+    assert second is first
+    assert second.triggered is False
+
+
+def test_timeout_with_value_not_recycled():
+    eng = Engine()
+    valued = eng.timeout(2, value="payload")
+    eng.run()
+    assert valued.value == "payload"
+    fresh = eng.timeout(2)
+    assert fresh is not valued
+
+
+def test_same_time_heap_and_ready_interleave_in_seq_order():
+    # Callbacks scheduled for a future instant (heap) must fire before
+    # callbacks created *at* that instant (ready deque), per FIFO seq.
+    eng = Engine()
+    order = []
+
+    def early():
+        yield 10
+        order.append("heap")
+
+    def trigger():
+        yield 10
+        order.append("first")
+        ev = Event(eng)
+        ev.succeed()     # lands on the ready deque at t=10
+
+        def chained():
+            yield ev
+            order.append("chained")
+
+        eng.process(chained())
+
+    eng.process(trigger())
+    eng.process(early())
+    eng.run()
+    assert order == ["first", "heap", "chained"]
