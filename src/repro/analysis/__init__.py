@@ -41,7 +41,8 @@ from .protocol import (
     check_commit_protocol, pending_cps, write_provenance,
 )
 from .provenance import (
-    DispatchInfo, KeyOrigin, PartitionSummary, analyze_partitions, static_mlp,
+    DispatchInfo, EpochOwnershipReport, KeyOrigin, PartitionSummary,
+    analyze_partitions, check_epoch_ownership, static_mlp,
 )
 
 __all__ = [
@@ -53,5 +54,5 @@ __all__ = [
     "PendingCpResult", "WriteProvenance", "CommitProtocolReport",
     "pending_cps", "write_provenance", "check_commit_protocol",
     "KeyOrigin", "DispatchInfo", "PartitionSummary", "analyze_partitions",
-    "static_mlp",
+    "static_mlp", "EpochOwnershipReport", "check_epoch_ownership",
 ]

@@ -54,7 +54,8 @@ from ..mem.schema import Catalog
 from .dataflow import FlowGraph, Node, program_flow, solve_forward
 
 __all__ = ["KeyOrigin", "DispatchInfo", "PartitionSummary",
-           "analyze_partitions", "static_mlp"]
+           "analyze_partitions", "static_mlp",
+           "EpochOwnershipReport", "check_epoch_ownership"]
 
 
 @dataclass(frozen=True)
@@ -313,3 +314,99 @@ def static_mlp(program: Program, graph: Optional[FlowGraph] = None) -> int:
     ins, outs = solve_forward(graph, entry_state=0, bottom=0,
                               transfer=transfer, join=max)
     return max(outs, default=0)
+
+
+# -- epoch-fenced ownership (cluster HA) -------------------------------------
+
+@dataclass(frozen=True)
+class EpochOwnershipReport:
+    """The verdict of :func:`check_epoch_ownership` for one submission.
+
+    ``violations`` are provable wrongs (submitting would execute on a
+    node that does not own the partition at the claimed epoch);
+    ``unprovable`` lists the dispatches the static analysis cannot
+    bound, which the runtime fence (:class:`~repro.errors.StaleEpochError`
+    and the cross-partition reject) must catch instead.
+    """
+
+    program_name: str
+    home_partition: int
+    home_node: int
+    epoch: int
+    violations: tuple = ()
+    unprovable: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        head = (f"epoch-ownership check for {self.program_name}: "
+                f"partition {self.home_partition} @ node {self.home_node} "
+                f"epoch {self.epoch} — "
+                f"{'OK' if self.ok else 'VIOLATIONS'}")
+        lines = [head]
+        lines.extend(f"  violation: {v}" for v in self.violations)
+        lines.extend(f"  unprovable: {d.opcode.value} t{d.table} "
+                     f"({d.kind})" for d in self.unprovable)
+        return "\n".join(lines)
+
+
+def check_epoch_ownership(summary: PartitionSummary, ownership,
+                          home_partition: int,
+                          claimed_epoch: Optional[int] = None
+                          ) -> EpochOwnershipReport:
+    """Prove a submission stays inside its home node's ownership.
+
+    The single-node proof (:func:`analyze_partitions`) bounds which
+    *partitions* a procedure touches; under cluster HA a partition's
+    location is no longer static — it is whatever the epoch-fenced
+    ownership map says *now*.  This check joins the two: every
+    partition the procedure provably reaches must be owned by the home
+    partition's owner at the claimed epoch.
+
+    ``ownership`` is duck-typed: either a mapping
+    ``partition -> (owner_node, epoch)`` (what
+    :meth:`~repro.cluster.ha.HACluster.ownership_map` returns) or an
+    object exposing ``ownership_map()``.  ``claimed_epoch`` is the
+    epoch the client's routing cache holds; ``None`` trusts the map
+    (a fresh lookup).
+    """
+    if not hasattr(ownership, "get"):
+        ownership = ownership.ownership_map()
+    try:
+        home_node, current_epoch = ownership[home_partition]
+    except KeyError:
+        raise KeyError(f"home partition {home_partition} is not in the "
+                       f"ownership map ({sorted(ownership)})") from None
+    epoch = claimed_epoch if claimed_epoch is not None else current_epoch
+    violations: List[str] = []
+    unprovable: List[DispatchInfo] = []
+    if epoch != current_epoch:
+        violations.append(
+            f"claimed epoch {epoch} is stale: partition {home_partition} "
+            f"is at epoch {current_epoch} (ownership moved)")
+    for d in summary.dispatches:
+        if d.kind == "local":
+            continue                    # replicated table: every node copies
+        if d.kind == "pinned" and d.partition is not None:
+            owner_epoch = ownership.get(d.partition)
+            if owner_epoch is None:
+                violations.append(
+                    f"pinned key {d.const_key} routes to partition "
+                    f"{d.partition}, which no node owns")
+            elif owner_epoch[0] != home_node:
+                violations.append(
+                    f"pinned key {d.const_key} routes to partition "
+                    f"{d.partition} owned by node {owner_epoch[0]}, but "
+                    f"the block is homed on node {home_node}")
+            continue
+        if d.kind == "input":
+            # the §4.4 contract: input-anchored keys route to the home
+            # partition by construction — covered by the home check
+            continue
+        unprovable.append(d)
+    return EpochOwnershipReport(
+        program_name=summary.program_name, home_partition=home_partition,
+        home_node=home_node, epoch=epoch,
+        violations=tuple(violations), unprovable=tuple(unprovable))

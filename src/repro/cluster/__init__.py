@@ -1,6 +1,32 @@
-"""Multi-node BionicDB: shared-nothing scale-out (§4.6 future work)."""
+"""Multi-node BionicDB: shared-nothing scale-out (§4.6 future work).
 
-from .interconnect import ClusterError, HierarchicalInterconnect
+``BionicCluster`` is the single-engine data plane (inter-node reads
+over the hierarchical interconnect); the HA control plane —
+membership, epoch-fenced ownership, failover, live migration — lives
+in :mod:`repro.cluster.ha` / :mod:`repro.cluster.membership` /
+:mod:`repro.cluster.migration`.
+"""
+
+from .interconnect import ClusterError, HierarchicalInterconnect, NodeLinks
+from .membership import MembershipService, MembershipView
+from .migration import MigrationRecord, MigrationState
 from .system import BionicCluster
 
-__all__ = ["ClusterError", "HierarchicalInterconnect", "BionicCluster"]
+__all__ = [
+    "ClusterError", "HierarchicalInterconnect", "NodeLinks",
+    "MembershipService", "MembershipView",
+    "MigrationRecord", "MigrationState",
+    "BionicCluster",
+    "HACluster", "HAResult", "ReplicationStream", "PartitionState",
+]
+
+_HA_NAMES = ("HACluster", "HAResult", "ReplicationStream", "PartitionState")
+
+
+def __getattr__(name):
+    # lazy: repro.cluster.ha pulls in the host recovery stack; plain
+    # data-plane users should not pay for it
+    if name in _HA_NAMES:
+        from . import ha
+        return getattr(ha, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -11,6 +11,15 @@ worker ids: messages between workers on the same chip take the on-chip
 hop (3 cycles); messages crossing chips take an inter-node link
 (microseconds, serialised per directed node pair).
 
+The inter-node portion is factored into :class:`NodeLinks`, a pure
+time-arithmetic model of the node-to-node lanes (serialisation,
+latency, drops, stalls, partitions) that needs no event engine.  The
+interconnect uses it for the data plane; the HA control plane
+(:mod:`repro.cluster.membership`) routes heartbeats and command-log
+shipping over the *same* lanes, so a link fault starves both planes
+consistently — the topology-sensitivity lesson from *OLTP on Hardware
+Islands*.
+
 Because cluster nodes share no DRAM, a request that crosses nodes must
 be *self-contained*: the key travels inline (no remote KeyFetch into
 the initiator's transaction block), and operations whose effects or
@@ -23,7 +32,7 @@ paper's design; see DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, Optional, Sequence
 
 from ..comm.channels import CommLink, RequestPacket, ResponsePacket
 from ..errors import BionicError
@@ -33,13 +42,129 @@ from ..sim.engine import Engine
 from ..sim.stats import StatsRegistry
 from ..sim.sync import Fifo
 
-__all__ = ["ClusterError", "HierarchicalInterconnect"]
+__all__ = ["ClusterError", "HierarchicalInterconnect", "NodeLinks"]
 
 _CROSS_NODE_OK = frozenset({Opcode.SEARCH})
 
 
 class ClusterError(BionicError, RuntimeError):
     """An operation that cannot cross shared-nothing node boundaries."""
+
+
+class NodeLinks:
+    """The inter-node lanes: serialisation, latency, and injected faults.
+
+    Engine-free: :meth:`delivery` is pure time arithmetic — given a send
+    instant it returns the arrival instant, or ``None`` when the message
+    is lost (an armed ``interconnect.drop``, a fired or standing
+    ``interconnect.partition``, a muted heartbeat source).  Callers that
+    live on the discrete-event engine (the data-plane interconnect)
+    schedule the delivery themselves; callers that advance virtual time
+    by hand (the membership layer, replication shipping, drills) use the
+    returned instants directly.
+
+    Fault sites consulted per send, in order: ``interconnect.drop``,
+    ``interconnect.stall``, then ``interconnect.partition`` (which cuts
+    the undirected node pair for ``plan.draw() * partition_max_ns`` and
+    loses the triggering message).  Heartbeat sends additionally consult
+    ``cluster.heartbeat_loss`` first.
+    """
+
+    def __init__(self, n_nodes: int,
+                 inter_latency_ns: float = 1500.0,
+                 inter_issue_ns: float = 50.0,
+                 faults=None,
+                 stats: Optional[StatsRegistry] = None,
+                 stall_max_ns: float = 50_000.0,
+                 partition_max_ns: float = 20_000_000.0):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self.inter_latency_ns = inter_latency_ns
+        self.inter_issue_ns = inter_issue_ns
+        self.faults = faults
+        self.stall_max_ns = stall_max_ns
+        self.partition_max_ns = partition_max_ns
+        self.stats = stats or StatsRegistry()
+        self._lane_free: Dict[tuple, float] = {}
+        #: undirected node pair -> healed-at instant
+        self._cut_until: Dict[FrozenSet[int], float] = {}
+        #: node -> heartbeat-egress muted until (detector-food drills)
+        self._hb_muted_until: Dict[int, float] = {}
+        self._fault_lost = self.stats.counter("comm.fault_lost")
+        self._fault_stalled = self.stats.counter("comm.fault_stalled")
+        self._fault_partitioned = self.stats.counter("comm.fault_partitioned")
+        self._hb_lost = self.stats.counter("comm.heartbeats_lost")
+
+    # -- standing link state -------------------------------------------------
+    def isolate(self, a: int, b: int, until_ns: float) -> None:
+        """Cut the (a, b) pair — both directions — until ``until_ns``."""
+        pair = frozenset((a, b))
+        self._cut_until[pair] = max(self._cut_until.get(pair, 0.0), until_ns)
+
+    def heal(self, a: int, b: int) -> None:
+        self._cut_until.pop(frozenset((a, b)), None)
+
+    def is_cut(self, a: int, b: int, now_ns: float) -> bool:
+        return self._cut_until.get(frozenset((a, b)), 0.0) > now_ns
+
+    def mute_heartbeats(self, node: int, until_ns: float) -> None:
+        """Silence ``node``'s outgoing heartbeats (its NIC egress control
+        queue wedges) while data traffic still flows — the classic
+        failure-detector false positive."""
+        self._hb_muted_until[node] = max(
+            self._hb_muted_until.get(node, 0.0), until_ns)
+
+    # -- delivery ------------------------------------------------------------
+    def delivery(self, src_node: int, dst_node: int, now_ns: float,
+                 kind: str = "req", heartbeat: bool = False
+                 ) -> Optional[float]:
+        """Arrival instant of one message sent at ``now_ns`` — or
+        ``None`` if it is lost on the wire."""
+        lane = (kind, src_node, dst_node)
+        depart = max(now_ns, self._lane_free.get(lane, 0.0))
+        self._lane_free[lane] = depart + self.inter_issue_ns
+        arrive = depart + self.inter_latency_ns
+        if heartbeat and self._hb_muted_until.get(src_node, 0.0) > now_ns:
+            self._hb_lost.add()
+            return None
+        if self.is_cut(src_node, dst_node, now_ns):
+            self._fault_partitioned.add()
+            if heartbeat:
+                self._hb_lost.add()
+            return None
+        if self.faults is not None:
+            from ..faults.plan import (
+                HEARTBEAT_LOSS, LINK_DROP, LINK_PARTITION, LINK_STALL,
+            )
+            if heartbeat and self.faults.fires(HEARTBEAT_LOSS, now_ns):
+                self._hb_lost.add()
+                return None
+            if self.faults.fires(LINK_DROP, now_ns):
+                # lost on the wire: never delivered.  A waiting
+                # initiator strands; the PR-1 stuck-transaction check
+                # surfaces the loss instead of a silent hang.
+                self._fault_lost.add()
+                return None
+            if self.faults.fires(LINK_STALL, now_ns):
+                self._fault_stalled.add()
+                arrive += self.faults.draw() * self.stall_max_ns
+            if self.faults.fires(LINK_PARTITION, now_ns):
+                self.isolate(src_node, dst_node,
+                             now_ns + self.faults.draw() * self.partition_max_ns)
+                self._fault_partitioned.add()
+                return None
+        return arrive
+
+    def bulk_transfer_ns(self, src_node: int, dst_node: int, n_bytes: int,
+                         now_ns: float, ns_per_byte: float
+                         ) -> Optional[float]:
+        """Completion instant of a bulk state transfer (migration
+        snapshot + log tail), or ``None`` while the pair is cut."""
+        if self.is_cut(src_node, dst_node, now_ns):
+            self._fault_partitioned.add()
+            return None
+        return now_ns + self.inter_latency_ns + n_bytes * ns_per_byte
 
 
 class HierarchicalInterconnect:
@@ -63,14 +188,20 @@ class HierarchicalInterconnect:
         self._lane_free: Dict[tuple, float] = {}
         self.stats = stats or StatsRegistry()
         #: optional repro.faults.FaultPlan; inter-node messages can be
-        #: lost (interconnect.drop) or stalled (interconnect.stall, by
-        #: up to ``stall_max_ns`` drawn from the plan's RNG)
+        #: lost (interconnect.drop), stalled (interconnect.stall, by up
+        #: to ``stall_max_ns`` drawn from the plan's RNG) or cut off by
+        #: a drawn-duration link partition (interconnect.partition)
         self.faults = faults
         self.stall_max_ns = stall_max_ns
+        n_nodes = (max(self.node_of) + 1) if self.node_of else 1
+        #: the shared inter-node lane model; the HA control plane rides
+        #: the same instance so faults starve both planes consistently
+        self.node_links = NodeLinks(
+            n_nodes, inter_latency_ns=inter_latency_ns,
+            inter_issue_ns=inter_issue_ns, faults=faults, stats=self.stats,
+            stall_max_ns=stall_max_ns)
         self._sent = self.stats.counter("comm.messages")
         self._inter = self.stats.counter("comm.internode_messages")
-        self._fault_lost = self.stats.counter("comm.fault_lost")
-        self._fault_stalled = self.stats.counter("comm.fault_stalled")
 
     def link(self, worker_id: int) -> CommLink:
         return self.links[worker_id]
@@ -110,22 +241,11 @@ class HierarchicalInterconnect:
         now = self.engine.now
         self._sent.add()
         if self.crosses_nodes(src, dst):
-            lane = (kind, self.node_of[src], self.node_of[dst])
-            depart = max(now, self._lane_free.get(lane, 0.0))
-            self._lane_free[lane] = depart + self.inter_issue_ns
-            arrive = depart + self.inter_latency_ns
             self._inter.add()
-            if self.faults is not None:
-                from ..faults.plan import LINK_DROP, LINK_STALL
-                if self.faults.fires(LINK_DROP, now):
-                    # lost on the wire: never delivered.  The waiting
-                    # initiator strands; the PR-1 stuck-transaction
-                    # check surfaces the loss instead of a silent hang.
-                    self._fault_lost.add()
-                    return
-                if self.faults.fires(LINK_STALL, now):
-                    self._fault_stalled.add()
-                    arrive += self.faults.draw() * self.stall_max_ns
+            arrive = self.node_links.delivery(
+                self.node_of[src], self.node_of[dst], now, kind=kind)
+            if arrive is None:
+                return
         else:
             lane = (kind, src, dst)
             depart = max(now, self._lane_free.get(lane, 0.0))

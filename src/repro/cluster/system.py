@@ -17,7 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..core.config import BionicConfig
 from ..core.system import RunReport
-from ..errors import FrontendError, SubmissionError
+from ..errors import CrossNodeTransactionError, FrontendError, SubmissionError
 from ..dora.worker import PartitionWorker
 from ..mem.schema import Catalog, IndexKind, TableSchema
 from ..mem.txnblock import BlockLayout, TransactionBlock, TxnStatus
@@ -145,13 +145,16 @@ class BionicCluster:
                                   worker=w, total_workers=self.total_workers)
         if self.node_of(w) != self.node_of(block.home_worker):
             # shared nothing: the block lives in its home node's DRAM; a
-            # worker on another node would read a different heap entirely
-            raise SubmissionError(
+            # worker on another node would read a different heap
+            # entirely.  Typed so a router can re-plan (re-home, split,
+            # or queue for the owning node) instead of string-matching.
+            raise CrossNodeTransactionError(
                 "block is homed on another node's DRAM; create it with "
                 "new_block(..., worker=<target>) so the data is local",
                 worker=w, home_worker=block.home_worker,
                 worker_node=self.node_of(w),
-                home_node=self.node_of(block.home_worker))
+                home_nodes={self.node_of(block.home_worker)},
+                partitions={w, block.home_worker})
         self.catalogue.lookup(block.proc_id)  # raises if unregistered
         block.submitted_at_ns = self.engine.now
         self.workers[w].softcore.submit(block)

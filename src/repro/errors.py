@@ -13,6 +13,7 @@ The hierarchy::
     ├── ConfigError            bad BionicConfig / SoftcoreConfig knobs
     ├── ValidationError        rejected at a host API boundary
     │   ├── SubmissionError    bad submit()/new_block()/load() arguments
+    │   │   └── CrossNodeTransactionError   block homed on another node
     │   └── ProcedureNotFoundError   (also a KeyError)
     ├── VerificationError      static ISA program verification failed
     ├── WorkloadError          bad workload generator parameters
@@ -21,6 +22,10 @@ The hierarchy::
     ├── FrontendError          network front-end misuse (double attach, …)
     ├── FaultError             fault-injection plan misuse (unknown site, …)
     ├── SimulatedCrash         an injected failure killed the simulated machine
+    ├── PartitionUnavailableError   [retryable] owner node dead / unreachable
+    ├── StaleEpochError             [retryable] submit tagged with an old epoch
+    ├── ReplicationStalledError     [retryable] executed but not safely acked
+    ├── MigrationError         live-migration misuse or budget violation
     └── (rebased domain errors: IsaError, SchemaError, SimulationError,
          ExecutionError, RecoveryError, ClusterError)
 
@@ -28,6 +33,12 @@ Errors carry an optional structured ``details`` dict (keyword arguments
 to the constructor) that is appended to the message and kept
 machine-readable on the instance — useful for tests and for operators
 triaging a rejected batch.
+
+Errors additionally marked :class:`RetryableError` (a mixin, not a
+``BionicError`` subclass) describe transient cluster conditions: the
+request was *not* durably executed-and-acknowledged, and a client that
+refreshes its routing state and retries with backoff is expected to
+succeed — the contract the front-end's retry loop relies on.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ __all__ = [
     "ConfigError",
     "ValidationError",
     "SubmissionError",
+    "CrossNodeTransactionError",
     "ProcedureNotFoundError",
     "VerificationError",
     "WorkloadError",
@@ -45,6 +57,11 @@ __all__ = [
     "FrontendError",
     "FaultError",
     "SimulatedCrash",
+    "RetryableError",
+    "PartitionUnavailableError",
+    "StaleEpochError",
+    "ReplicationStalledError",
+    "MigrationError",
 ]
 
 
@@ -75,6 +92,16 @@ class ValidationError(BionicError, ValueError):
 
 class SubmissionError(ValidationError):
     """A transaction block (or load/lookup) was rejected at admission."""
+
+
+class CrossNodeTransactionError(SubmissionError):
+    """A transaction block was submitted to a worker on a node other
+    than the one whose DRAM holds the block.
+
+    Carries the block's home-node set (``home_nodes``) and the global
+    partitions involved (``partitions``) so a router can re-plan the
+    transaction — re-home it, split it, or queue it for the owning
+    node — instead of string-matching an error message."""
 
 
 class ProcedureNotFoundError(ValidationError, KeyError):
@@ -123,3 +150,43 @@ class SimulatedCrash(BionicError, RuntimeError):
     subsequent durable write on that machine re-raises this (the disk is
     gone along with the host); harnesses catch it at the top level and
     move on to recovery."""
+
+
+class RetryableError(Exception):
+    """Mixin marking transient cluster errors safe to retry — catchable
+    as a class of its own (``except RetryableError``).
+
+    Not a :class:`BionicError` itself — concrete errors inherit both.
+    The guarantee a retryable error makes: the request was **not**
+    executed-and-acknowledged, so retrying (after refreshing routing
+    state) cannot double-apply it.  The front-end maps these to the
+    ``rejected`` terminal outcome, which the session retry-with-backoff
+    loop already knows how to drive."""
+
+
+class PartitionUnavailableError(BionicError, RetryableError, RuntimeError):
+    """The partition's owner node is dead, unreachable, or not yet
+    failed over — fail fast instead of hanging on a dead link.  Details
+    name the ``partition``, the ``node`` last known to own it, and why
+    (``reason``)."""
+
+
+class StaleEpochError(BionicError, RetryableError, RuntimeError):
+    """A submit was tagged with an ownership epoch older than the
+    partition's current one.  The transaction was **not** executed:
+    accepting it could apply writes on a node that no longer owns the
+    partition (the split-brain window after a failover or migration).
+    The client must refresh its membership view and resubmit."""
+
+
+class ReplicationStalledError(BionicError, RetryableError, RuntimeError):
+    """The transaction executed on the owner but its command-log record
+    could not be replicated within the bounded lag window, so it was
+    not acknowledged.  A retry consults the owner's log first and never
+    re-executes a committed transaction."""
+
+
+class MigrationError(BionicError, RuntimeError):
+    """Live partition migration misuse or failure: illegal state
+    transition, migrating a partition already in motion, or blowing the
+    configured unavailability budget."""

@@ -2,32 +2,40 @@
 
 ``repro.faults`` makes failure a first-class, *tested* behaviour of the
 reproduction: a seeded :class:`FaultPlan` decides when torn writes,
-bit flips, packet loss, link stalls and machine crashes happen, and the
-:class:`RecoveryDrill` harness proves the §4.8 checkpoint +
-command-log recovery path actually recovers — every acknowledged
-transaction survives, and the recovered state matches an uninterrupted
-golden run.
+bit flips, packet loss, link stalls, link partitions, node deaths and
+machine crashes happen; the :class:`RecoveryDrill` harness proves the
+§4.8 checkpoint + command-log recovery path actually recovers — every
+acknowledged transaction survives, and the recovered state matches an
+uninterrupted golden run — and the :class:`ClusterDrill` harness proves
+the same contract across nodes: failover, epoch fencing, and live
+migration under seeded incidents.
 
-Run a drill sweep from the command line::
+Run both drill sweeps from the command line::
 
     python -m repro.faults.drill --seeds 200
 """
 
 from .plan import (
     APPEND_BIT_FLIP, CRASH_AFTER_RENAME, CRASH_BEFORE_RENAME, FaultPlan,
-    LINK_DROP, LINK_STALL, MACHINE_CRASH, NIC_CORRUPT, NIC_DROP,
-    NIC_DUPLICATE, SITES, TORN_APPEND, Trigger, WORKER_CRASH,
+    HEARTBEAT_LOSS, LINK_DROP, LINK_PARTITION, LINK_STALL, MACHINE_CRASH,
+    NIC_CORRUPT, NIC_DROP, NIC_DUPLICATE, NODE_DEATH, SITES,
+    STALE_EPOCH_SUBMIT, TORN_APPEND, Trigger, WORKER_CRASH,
 )
 _DRILL_NAMES = ("DrillConfig", "DrillResult", "RecoveryDrill", "run_sweep")
+_CLUSTER_DRILL_NAMES = ("ClusterDrillConfig", "ClusterDrillResult",
+                        "ClusterDrill", "run_cluster_sweep")
 
 
 def __getattr__(name):
     # lazy: `python -m repro.faults.drill` must not import the drill
     # module twice (runpy), and plain fault injection must not pay for
-    # the workload imports the drill pulls in
+    # the workload imports the drills pull in
     if name in _DRILL_NAMES:
         from . import drill
         return getattr(drill, name)
+    if name in _CLUSTER_DRILL_NAMES:
+        from . import cluster_drill
+        return getattr(cluster_drill, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -35,7 +43,10 @@ __all__ = [
     "TORN_APPEND", "APPEND_BIT_FLIP",
     "CRASH_BEFORE_RENAME", "CRASH_AFTER_RENAME",
     "NIC_DROP", "NIC_DUPLICATE", "NIC_CORRUPT",
-    "LINK_DROP", "LINK_STALL",
+    "LINK_DROP", "LINK_STALL", "LINK_PARTITION",
+    "HEARTBEAT_LOSS", "NODE_DEATH", "STALE_EPOCH_SUBMIT",
     "MACHINE_CRASH", "WORKER_CRASH",
     "DrillConfig", "DrillResult", "RecoveryDrill", "run_sweep",
+    "ClusterDrillConfig", "ClusterDrillResult", "ClusterDrill",
+    "run_cluster_sweep",
 ]

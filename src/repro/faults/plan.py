@@ -38,8 +38,9 @@ __all__ = [
     "TORN_APPEND", "APPEND_BIT_FLIP",
     "CRASH_BEFORE_RENAME", "CRASH_AFTER_RENAME",
     "NIC_DROP", "NIC_DUPLICATE", "NIC_CORRUPT",
-    "LINK_DROP", "LINK_STALL",
+    "LINK_DROP", "LINK_STALL", "LINK_PARTITION",
     "MACHINE_CRASH", "WORKER_CRASH",
+    "HEARTBEAT_LOSS", "NODE_DEATH", "STALE_EPOCH_SUBMIT",
 ]
 
 # -- injection sites ---------------------------------------------------------
@@ -61,16 +62,26 @@ NIC_CORRUPT = "nic.corrupt"
 LINK_DROP = "interconnect.drop"
 #: inter-node message stalled by a drawn extra delay
 LINK_STALL = "interconnect.stall"
+#: a directed node pair loses connectivity for a drawn duration; every
+#: message on the cut lanes (either direction) is lost until it heals
+LINK_PARTITION = "interconnect.partition"
 #: whole-machine crash at an engine event count (see Engine.crash_at_fired)
 MACHINE_CRASH = "machine.crash"
 #: one partition worker dies mid-flight (see BionicDB.crash_worker)
 WORKER_CRASH = "worker.crash"
+#: a heartbeat message is silently dropped (failure-detector food)
+HEARTBEAT_LOSS = "cluster.heartbeat_loss"
+#: a whole cluster node dies (its partitions must fail over)
+NODE_DEATH = "cluster.node_death"
+#: a client submits a transaction tagged with a stale ownership epoch
+STALE_EPOCH_SUBMIT = "cluster.stale_epoch_submit"
 
 SITES = frozenset({
     TORN_APPEND, APPEND_BIT_FLIP, CRASH_BEFORE_RENAME, CRASH_AFTER_RENAME,
     NIC_DROP, NIC_DUPLICATE, NIC_CORRUPT,
-    LINK_DROP, LINK_STALL,
+    LINK_DROP, LINK_STALL, LINK_PARTITION,
     MACHINE_CRASH, WORKER_CRASH,
+    HEARTBEAT_LOSS, NODE_DEATH, STALE_EPOCH_SUBMIT,
 })
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from ..errors import FrontendError, StuckTransactionError
+from ..errors import FrontendError, RetryableError, StuckTransactionError
 from ..mem.txnblock import TxnStatus
 from .admission import (
     AdmissionConfig, AdmissionController, REASON_DEADLINE, REASON_RX_OVERFLOW,
@@ -167,7 +167,16 @@ class FrontEnd:
 
     def _submit(self, req: Request) -> None:
         self._by_txn[req.block.txn_id] = req
-        self.db.submit(req.block, req.home)
+        try:
+            self.db.submit(req.block, req.home)
+        except RetryableError as exc:
+            # a transient cluster condition (stale epoch, owner failing
+            # over, replication lag): the request was not executed, so
+            # map it to the ``rejected`` terminal outcome — the session
+            # retry-with-backoff loop already knows how to drive that
+            del self._by_txn[req.block.txn_id]
+            self.scheduler.note_done(req.home)
+            self._finish(req, "rejected", f"retryable:{type(exc).__name__}")
 
     def _timeout(self, req: Request) -> None:
         self._finish(req, "timed_out", REASON_DEADLINE)

@@ -122,6 +122,34 @@ class CommandLog:
         if self._appender is not None:
             self._appender.append(record)
 
+    def append_record(self, record: LogRecord) -> None:
+        """Apply one already-built record — the replication path, where
+        frames arrive from the owner instead of from a local block.  A
+        record for a txn already present replaces it (pending →
+        finalised), mirroring load()'s last-frame-wins rule."""
+        pos = self._index.get(record.txn_id)
+        if pos is None:
+            self._index[record.txn_id] = len(self._records)
+            self._records.append(record)
+        else:
+            self._records[pos] = record
+        if self._appender is not None:
+            self._appender.append(record)
+
+    @classmethod
+    def from_records(cls, records: Sequence[LogRecord]) -> "CommandLog":
+        """An in-memory log rebuilt from shipped frames (a follower's
+        replica, or a migration log tail)."""
+        log = cls()
+        for record in records:
+            log.append_record(record)
+        return log
+
+    def status_of(self, txn_id: int) -> Optional[str]:
+        """The logged status of ``txn_id``, or ``None`` if unlogged."""
+        pos = self._index.get(txn_id)
+        return self._records[pos].status if pos is not None else None
+
     def records(self) -> Sequence[LogRecord]:
         return tuple(self._records)
 

@@ -132,8 +132,14 @@ class RecoveryManager:
     def __init__(self, db: BionicDB):
         self.db = db
 
-    def restore_checkpoint(self, ckpt: Checkpoint) -> int:
-        """Bulk-load the checkpoint image; returns rows restored."""
+    def restore_checkpoint(self, ckpt: Checkpoint,
+                           partitions: Optional[set] = None) -> int:
+        """Bulk-load the checkpoint image; returns rows restored.
+
+        ``partitions`` restricts the restore to those partition ids —
+        the failover/migration path, where a follower rebuilds only the
+        partitions it is taking over (replicated tables, stored as a
+        single partition-0 copy, are always restored)."""
         n = 0
         for (table_id, partition), items in ckpt.rows.items():
             try:
@@ -143,6 +149,9 @@ class RecoveryManager:
                     f"checkpoint references table {table_id} which the "
                     f"target database does not define: {exc}",
                     table_id=table_id) from exc
+            if (partitions is not None and partition not in partitions
+                    and not schema.replicated):
+                continue
             for key, fields, _write_ts in items:
                 if schema.replicated:
                     self.db.load(table_id, key, fields)

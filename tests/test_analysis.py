@@ -416,6 +416,54 @@ class TestPartitionChecks:
         assert summary.dispatches[0].const_key == 15
         assert summary.dispatches[0].partition == 3
 
+    def test_epoch_ownership_pinned_violation(self):
+        from repro.analysis import check_epoch_ownership
+        b = ProcedureBuilder("mishomed")
+        b.mov(0, 17)                           # pins partition 1 (17 % 4)
+        b.search(cp=0, table=0, key=Gp(0))
+        b.commit_handler()
+        b.ret(1, 0)
+        b.commit()
+        summary = analyze_partitions(b.build(), schemas=catalog(), n_workers=4)
+        # home partition 0 lives on node 0, but pinned partition 1 is
+        # owned by node 1 — a provable cross-ownership dispatch
+        ownership = {0: (0, 5), 1: (1, 5), 2: (0, 5), 3: (1, 5)}
+        report = check_epoch_ownership(summary, ownership, home_partition=0)
+        assert not report.ok
+        assert any("partition 1" in v and "node 1" in v
+                   for v in report.violations)
+        # homing it where the pinned partition lives clears the check
+        ok = check_epoch_ownership(summary, ownership, home_partition=1)
+        assert ok.ok and ok.epoch == 5
+
+    def test_epoch_ownership_stale_claim(self):
+        from repro.analysis import check_epoch_ownership
+        b = ProcedureBuilder("anchored")
+        b.search(cp=0, table=0, key=b.at(0))   # input-anchored: provable
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        summary = analyze_partitions(b.build(), schemas=catalog(), n_workers=4)
+        ownership = {0: (2, 7)}
+        stale = check_epoch_ownership(summary, ownership, home_partition=0,
+                                      claimed_epoch=6)
+        assert not stale.ok and any("stale" in v for v in stale.violations)
+        fresh = check_epoch_ownership(summary, ownership, home_partition=0,
+                                      claimed_epoch=7)
+        assert fresh.ok and not fresh.unprovable
+
+    def test_epoch_ownership_untracked_is_unprovable_not_violation(self):
+        from repro.analysis import check_epoch_ownership
+        b = ProcedureBuilder("wild")
+        b.search(cp=0, table=0, key=Gp(5))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        summary = analyze_partitions(b.build(), schemas=catalog(), n_workers=4)
+        report = check_epoch_ownership(summary, {0: (0, 1)}, home_partition=0)
+        assert report.ok                       # nothing provably wrong...
+        assert len(report.unprovable) == 1     # ...but the fence must catch it
+
     def test_untracked_key_is_flagged(self):
         b = ProcedureBuilder("wild")
         b.search(cp=0, table=0, key=Gp(5))     # r5 holds its entry value

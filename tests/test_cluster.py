@@ -100,6 +100,19 @@ class TestClusterBasics:
         with pytest.raises(ClusterError):
             c.run()
 
+    def test_cross_node_submit_typed_error(self):
+        from repro.errors import CrossNodeTransactionError, SubmissionError
+        c = make_cluster()
+        block = c.new_block(2, [100], worker=0)
+        with pytest.raises(CrossNodeTransactionError) as exc_info:
+            c.submit(block, worker=2)     # worker 2 lives on node 1
+        # typed payload a router can re-plan from, and still a
+        # SubmissionError for existing callers
+        assert issubclass(CrossNodeTransactionError, SubmissionError)
+        details = exc_info.value.details
+        assert details["home_nodes"] == {0}
+        assert details["partitions"] == {0, 2}
+
     def test_same_node_write_allowed(self):
         c = make_cluster()
         c.load(0, 1500, ["old"])  # partition 1, same node as worker 0
