@@ -10,6 +10,7 @@ meaningless without one).  Parameterised families use suffixes::
     ycsb_read_<N>          N-point-read transaction
     ycsb_rmw_<N>           N read-modify-write pairs
     ycsb_scan_<L>          one scan of length L
+    ycsb_range_<L>         one bounded range scan of span L
     ycsb_mix_<R>r<U>u      R reads + U updates, e.g. ycsb_mix_3r1u
 """
 
@@ -77,6 +78,9 @@ def resolve(name: str) -> Tuple[Program, Catalog]:
     elif (m := re.match(r"^ycsb_scan_(\d+)$", name)):
         y = _ycsb()
         program = y.scan_procedure(int(m.group(1)), y.scan_layout())
+    elif (m := re.match(r"^ycsb_range_(\d+)$", name)):
+        y = _ycsb()
+        program = y.range_procedure(int(m.group(1)), y.range_layout())
     elif (m := re.match(r"^ycsb_mix_(\d+)r(\d+)u$", name)):
         y = _ycsb()
         program = y.mixed_procedure(int(m.group(1)), int(m.group(2)))
@@ -92,7 +96,7 @@ def known_names() -> List[str]:
     """Concrete resolvable names (families shown at a default size)."""
     return sorted(_fixed()) + [
         "tpcc_neworder_<K>", "ycsb_read_<N>", "ycsb_rmw_<N>",
-        "ycsb_scan_<L>", "ycsb_mix_<R>r<U>u",
+        "ycsb_scan_<L>", "ycsb_range_<L>", "ycsb_mix_<R>r<U>u",
     ]
 
 
@@ -101,7 +105,7 @@ def all_procedures() -> List[Tuple[str, Program, Catalog]]:
     names = (sorted(_fixed())
              + [f"tpcc_neworder_{k}" for k in (5, 10, 15)]
              + ["ycsb_read_4", "ycsb_rmw_4", "ycsb_scan_16",
-                "ycsb_mix_3r1u", "ycsb_mix_2r2u"])
+                "ycsb_range_16", "ycsb_mix_3r1u", "ycsb_mix_2r2u"])
     out = []
     for name in names:
         program, catalog = resolve(name)

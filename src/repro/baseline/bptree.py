@@ -159,6 +159,25 @@ class BPlusTree:
             idx = 0
         return out
 
+    def scan_range(self, lo, hi, limit: Optional[int] = None
+                   ) -> List[Tuple[Any, Any]]:
+        """(key, value) pairs with ``lo <= key <= hi`` (inclusive both
+        ends, matching the RANGE_SCAN instruction), at most ``limit``."""
+        out: List[Tuple[Any, Any]] = []
+        leaf = self._find_leaf(lo)
+        idx = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                if leaf.keys[idx] > hi:
+                    return out
+                if limit is not None and len(out) >= limit:
+                    return out
+                out.append((leaf.keys[idx], leaf.values[idx]))
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+        return out
+
     def items(self) -> Iterator[Tuple[Any, Any]]:
         node = self._root
         while isinstance(node, _Inner):

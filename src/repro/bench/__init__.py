@@ -34,3 +34,9 @@ __all__ += [
     "run_hazard_prevention_cost", "run_line_buffer_ablation", "run_scale_up",
     "run_traverse_stage_sweep", "run_latency_curve", "run_full_tpcc_mix",
 ]
+
+from .fig_index3 import (  # noqa: E402
+    index_kv_throughput, run_index3_point, run_index3_scan,
+)
+
+__all__ += ["index_kv_throughput", "run_index3_point", "run_index3_scan"]

@@ -24,9 +24,10 @@ from . import (
     run_full_tpcc_mix, run_latency_curve,
     run_fig9a, run_fig9b, run_fig10a, run_fig10b, run_fig10c, run_fig10d,
     run_fig11a, run_fig11b, run_fig11c, run_fig11d, run_fig12a, run_fig12b,
-    run_fig13, run_hazard_prevention_cost, run_latency_load,
-    run_line_buffer_ablation, run_power, run_scale_up, run_table3,
-    run_table4, run_traverse_stage_sweep, scanner_count_sweep,
+    run_fig13, run_hazard_prevention_cost, run_index3_point,
+    run_index3_scan, run_latency_load, run_line_buffer_ablation, run_power,
+    run_scale_up, run_table3, run_table4, run_traverse_stage_sweep,
+    scanner_count_sweep,
 )
 
 EXPERIMENTS = {
@@ -62,6 +63,8 @@ EXPERIMENTS = {
     "ext-latency": (run_latency_curve, {"n_txns": 150}, {"n_txns": 80}),
     "ext-frontend": (run_latency_load, {"n_txns": 1500}, {"n_txns": 500}),
     "ext-fullmix": (run_full_tpcc_mix, {"n_txns": 200}, {"n_txns": 100}),
+    "ext-index3": (run_index3_point, {"n_ops": 600}, {"n_ops": 200}),
+    "ext-index3-scan": (run_index3_scan, {"n_ops": 120}, {"n_ops": 40}),
 }
 
 

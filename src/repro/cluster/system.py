@@ -80,6 +80,7 @@ class BionicCluster:
                 softcore_config=cfg.softcore,
                 hash_kwargs=cfg.hash_kwargs(),
                 skiplist_kwargs=cfg.skiplist_kwargs(),
+                bptree_kwargs=cfg.bptree_kwargs(),
                 stats=self.stats,
                 on_txn_done=self._on_txn_done,
             ))
@@ -114,6 +115,9 @@ class BionicCluster:
             worker = self.workers[w]
             if schema.index_kind == IndexKind.HASH:
                 worker.hash_pipe.bulk_load(key, list(fields), table_id=table_id)
+            elif schema.index_kind == IndexKind.BPTREE:
+                worker.bptree_pipe.bulk_load(key, list(fields),
+                                             table_id=table_id)
             else:
                 worker.skiplist_pipe.bulk_load(key, list(fields),
                                                table_id=table_id)
@@ -228,4 +232,6 @@ class BionicCluster:
         worker = self.workers[w]
         if schema.index_kind == IndexKind.HASH:
             return worker.hash_pipe.lookup_direct(key, table_id=table_id)
+        if schema.index_kind == IndexKind.BPTREE:
+            return worker.bptree_pipe.lookup_direct(key, table_id=table_id)
         return worker.skiplist_pipe.lookup_direct(key, table_id=table_id)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import ConfigError
+from ..index.bptree.pipeline import BPTreeTimings
 from ..index.hash.pipeline import HashTimings
 from ..index.skiplist.pipeline import SkiplistTimings
 from ..mem.txnblock import BlockLayout
@@ -111,6 +112,16 @@ class BionicConfig:
     skiplist_read_issue_interval: float = 4.0
     skiplist_write_issue_interval: float = 4.0
 
+    # B+ tree coprocessor (batched level-wise traversal; ROADMAP item 4)
+    bptree_timings: BPTreeTimings = field(
+        default_factory=lambda: BPTreeTimings(scan_emit=145.0))
+    bptree_fanout: int = 15
+    bptree_stages: int = 4
+    bptree_wave_size: int = 8
+    bptree_wave_window: float = 16.0          # cycles the wave former waits
+    bptree_read_issue_interval: float = 4.0
+    bptree_write_issue_interval: float = 4.0
+
     # shared coprocessor in-flight budget (Figure 10/11 sweeps)
     max_in_flight: int = 16
 
@@ -163,6 +174,10 @@ class BionicConfig:
             ("skiplist_stages", 1), ("skiplist_scanners", 1),
             ("skiplist_max_height", 1), ("skiplist_read_issue_interval", 0.0),
             ("skiplist_write_issue_interval", 0.0),
+            ("bptree_fanout", 3), ("bptree_stages", 1),
+            ("bptree_wave_size", 1), ("bptree_wave_window", 0.0),
+            ("bptree_read_issue_interval", 0.0),
+            ("bptree_write_issue_interval", 0.0),
             ("max_in_flight", 1), ("comm_hop_cycles", 0.0),
             ("ring_hop_cycles", 0.0),
         ):
@@ -201,4 +216,17 @@ class BionicConfig:
             "max_in_flight": self.max_in_flight,
             "read_issue_interval_cycles": self.skiplist_read_issue_interval,
             "write_issue_interval_cycles": self.skiplist_write_issue_interval,
+        }
+
+    def bptree_kwargs(self) -> dict:
+        return {
+            "timings": self.bptree_timings,
+            "fanout": self.bptree_fanout,
+            "n_stages": self.bptree_stages,
+            "wave_size": self.bptree_wave_size,
+            "wave_window_cycles": self.bptree_wave_window,
+            "hazard_prevention": self.hazard_prevention,
+            "max_in_flight": self.max_in_flight,
+            "read_issue_interval_cycles": self.bptree_read_issue_interval,
+            "write_issue_interval_cycles": self.bptree_write_issue_interval,
         }

@@ -121,6 +121,7 @@ class BionicDB:
                 softcore_config=cfg.softcore,
                 hash_kwargs=cfg.hash_kwargs(),
                 skiplist_kwargs=cfg.skiplist_kwargs(),
+                bptree_kwargs=cfg.bptree_kwargs(),
                 stats=self.stats,
                 on_txn_done=self._on_txn_done,
                 tracer=self.tracer,
@@ -184,6 +185,9 @@ class BionicDB:
             worker = self.workers[w]
             if schema.index_kind == IndexKind.HASH:
                 worker.hash_pipe.bulk_load(key, list(fields), table_id=table_id)
+            elif schema.index_kind == IndexKind.BPTREE:
+                worker.bptree_pipe.bulk_load(key, list(fields),
+                                             table_id=table_id)
             else:
                 worker.skiplist_pipe.bulk_load(key, list(fields),
                                                table_id=table_id)
@@ -445,6 +449,12 @@ class BionicDB:
                       + costs["skiplist.stage"] * cfg.skiplist_stages
                       + costs["skiplist.scanner"] * cfg.skiplist_scanners)
             ledger.add("Skiplist", sl_vec, inst)
+            if self.workers[w]._bptree_pipe is not None:
+                # only synthesized when a BPTREE table exists (the
+                # pipeline is instantiated lazily, like the hardware)
+                bp_vec = (costs["bptree.base"]
+                          + costs["bptree.stage"] * cfg.bptree_stages)
+                ledger.add("BPTree", bp_vec, inst)
             ledger.add("Softcore", costs["softcore"], inst)
             ledger.add("Catalogue", costs["catalogue"], inst)
             ledger.add("Communication", comm_vec, inst)
@@ -471,4 +481,6 @@ class BionicDB:
         worker = self.workers[w]
         if schema.index_kind == IndexKind.HASH:
             return worker.hash_pipe.lookup_direct(key, table_id=table_id)
+        if schema.index_kind == IndexKind.BPTREE:
+            return worker.bptree_pipe.lookup_direct(key, table_id=table_id)
         return worker.skiplist_pipe.lookup_direct(key, table_id=table_id)

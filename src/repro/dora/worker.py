@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from ..comm.channels import Crossbar, RequestPacket, ResponsePacket
+from ..index.bptree.pipeline import BPTreePipeline, BPTreeTimings
 from ..index.common import DbRequest
 from ..index.hash.pipeline import HashIndexPipeline, HashTimings
 from ..index.skiplist.pipeline import SkiplistPipeline, SkiplistTimings
@@ -47,6 +48,7 @@ class PartitionWorker:
         softcore_config: Optional[SoftcoreConfig] = None,
         hash_kwargs: Optional[dict] = None,
         skiplist_kwargs: Optional[dict] = None,
+        bptree_kwargs: Optional[dict] = None,
         stats: Optional[StatsRegistry] = None,
         on_txn_done=None,
         tracer=None,
@@ -69,6 +71,12 @@ class PartitionWorker:
             engine, clock, dram, f"w{worker_id}.skiplist",
             create_default_table=False, stats=self.stats, tracer=tracer,
             **(skiplist_kwargs or {}))
+        # the B+ tree pipeline is built lazily on first use: a worker
+        # with no BPTREE tables spawns no extra processes or memory
+        # ports, keeping non-B+-tree runs cycle-identical
+        self._bptree_pipe: Optional[BPTreePipeline] = None
+        self._bptree_ctor = (engine, clock, dram, tracer)
+        self._bptree_kwargs = dict(bptree_kwargs or {})
 
         self.softcore.route = self._route
         self.softcore.dispatch = self.dispatch
@@ -81,10 +89,22 @@ class PartitionWorker:
             engine.process(self._response_unit(),
                            name=f"w{worker_id}.responses")
 
+    @property
+    def bptree_pipe(self) -> BPTreePipeline:
+        if self._bptree_pipe is None:
+            engine, clock, dram, tracer = self._bptree_ctor
+            self._bptree_pipe = BPTreePipeline(
+                engine, clock, dram, f"w{self.worker_id}.bptree",
+                create_default_table=False, stats=self.stats, tracer=tracer,
+                **self._bptree_kwargs)
+        return self._bptree_pipe
+
     # -- schema ------------------------------------------------------------
     def add_table(self, schema: TableSchema) -> None:
         if schema.index_kind == IndexKind.HASH:
             self.hash_pipe.add_table(schema.table_id, schema.hash_buckets)
+        elif schema.index_kind == IndexKind.BPTREE:
+            self.bptree_pipe.add_table(schema.table_id)
         else:
             self.skiplist_pipe.add_table(schema.table_id)
 
@@ -92,6 +112,8 @@ class PartitionWorker:
         schema = self.catalogue.schemas.table(table_id)
         if schema.index_kind == IndexKind.HASH:
             return self.hash_pipe
+        if schema.index_kind == IndexKind.BPTREE:
+            return self.bptree_pipe
         return self.skiplist_pipe
 
     # -- routing & dispatch ---------------------------------------------------
@@ -146,3 +168,6 @@ class PartitionWorker:
     def set_max_in_flight(self, n: int) -> None:
         self.hash_pipe.set_max_in_flight(n)
         self.skiplist_pipe.set_max_in_flight(n)
+        self._bptree_kwargs["max_in_flight"] = n
+        if self._bptree_pipe is not None:
+            self._bptree_pipe.set_max_in_flight(n)

@@ -26,10 +26,13 @@ __all__ = ["CompactionStats", "compact"]
 class CompactionStats:
     hash_tombstones_removed: int = 0
     skiplist_tombstones_removed: int = 0
+    bptree_tombstones_removed: int = 0
 
     @property
     def total(self) -> int:
-        return self.hash_tombstones_removed + self.skiplist_tombstones_removed
+        return (self.hash_tombstones_removed
+                + self.skiplist_tombstones_removed
+                + self.bptree_tombstones_removed)
 
 
 def _compact_hash_table(heap, base: int, n_buckets: int) -> int:
@@ -100,6 +103,9 @@ def compact(db: BionicDB) -> CompactionStats:
                 base, n_buckets = pipe._tables[schema.table_id]
                 stats.hash_tombstones_removed += _compact_hash_table(
                     heap, base, n_buckets)
+            elif schema.index_kind == IndexKind.BPTREE:
+                stats.bptree_tombstones_removed += (
+                    worker.bptree_pipe.compact_direct(schema.table_id))
             else:
                 pipe = worker.skiplist_pipe
                 stats.skiplist_tombstones_removed += _compact_skiplist(

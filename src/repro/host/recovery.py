@@ -120,6 +120,8 @@ def take_checkpoint(db: BionicDB) -> Checkpoint:
                 continue  # one copy is enough; restore re-replicates
             if schema.index_kind == IndexKind.HASH:
                 items = list(worker.hash_pipe.items_direct(schema.table_id))
+            elif schema.index_kind == IndexKind.BPTREE:
+                items = list(worker.bptree_pipe.checkpoint_rows(schema.table_id))
             else:
                 items = list(worker.skiplist_pipe.checkpoint_rows(schema.table_id))
             ckpt.rows[(schema.table_id, w)] = items

@@ -1,5 +1,6 @@
-"""The index coprocessor: hash and skiplist pipelines."""
+"""The index coprocessor: hash, skiplist and B+ tree pipelines."""
 
+from .bptree.pipeline import BPTreePipeline, BPTreeTimings
 from .common import DbRequest, IndexError_, PipelineBase, sdbm_hash
 from .hash.pipeline import HashIndexPipeline, HashTimings
 from .skiplist.pipeline import SkiplistPipeline, SkiplistTimings, compute_level_ranges
@@ -8,4 +9,5 @@ __all__ = [
     "DbRequest", "IndexError_", "PipelineBase", "sdbm_hash",
     "HashIndexPipeline", "HashTimings",
     "SkiplistPipeline", "SkiplistTimings", "compute_level_ranges",
+    "BPTreePipeline", "BPTreeTimings",
 ]

@@ -1,0 +1,5 @@
+"""Batched level-wise B+ tree index coprocessor (ROADMAP item 4)."""
+
+from .pipeline import BPTreePipeline, BPTreeTimings, compute_level_ranges
+
+__all__ = ["BPTreePipeline", "BPTreeTimings", "compute_level_ranges"]

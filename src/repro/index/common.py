@@ -30,7 +30,8 @@ from ..sim.sync import Fifo, TokenPool
 from ..sim.trace import NULL_TRACER
 from ..txn.cc import DbResult, ResultCode
 
-__all__ = ["DbRequest", "PipelineBase", "sdbm_hash", "IndexError_"]
+__all__ = ["DbRequest", "PipelineBase", "sdbm_hash", "clear_hash_cache",
+           "IndexError_"]
 
 _request_ids = itertools.count(1)
 
@@ -84,9 +85,19 @@ def sdbm_hash(key: Any) -> int:
         h = (byte + (h << 6) + (h << 16) - h) & 0xFFFFFFFFFFFFFFFF
     h ^= h >> 33
     h ^= h >> 17
-    if cacheable and len(_hash_cache) < _HASH_CACHE_CAP:
+    if cacheable:
+        if len(_hash_cache) >= _HASH_CACHE_CAP:
+            # FIFO eviction (dicts iterate in insertion order): a full
+            # cache must keep admitting, or a long key-diverse process
+            # degrades to zero hits for every key it meets afterwards
+            del _hash_cache[next(iter(_hash_cache))]
         _hash_cache[key] = h
     return h
+
+
+def clear_hash_cache() -> None:
+    """Drop the sdbm memo (tests; long key-diverse host processes)."""
+    _hash_cache.clear()
 
 
 @dataclass
@@ -104,6 +115,7 @@ class DbRequest:
     scan_count: int = 0                      # SCAN: tuples requested
     scan_out_addr: int = 0                   # SCAN: first output cell
     scan_limit: int = 0                      # SCAN: output buffer capacity
+    scan_hi: Any = None                      # RANGE_SCAN: high key (inclusive)
     src_worker: int = 0                      # initiating worker id
     cp_index: Optional[int] = None           # destination CP register
     route_key: Any = None                    # routing key (known at Dispatch)
@@ -155,7 +167,12 @@ class PipelineBase:
         self.name = name
         self.stats = stats or StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.trace_category = "hash" if "hash" in name else "skiplist"
+        if "hash" in name:
+            self.trace_category = "hash"
+        elif "bptree" in name:
+            self.trace_category = "bptree"
+        else:
+            self.trace_category = "skiplist"
         self.entry = Fifo(engine, name=f"{name}.entry")
         self.tokens = TokenPool(engine, max_in_flight, name=f"{name}.inflight")
         # One read port per coprocessor pipeline: its issue interval is the

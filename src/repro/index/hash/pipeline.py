@@ -108,8 +108,8 @@ class HashIndexPipeline(PipelineBase):
             eng.process(self._stage_traverse(q), name=f"{self.name}.traverse{i}")
 
     def _enter(self, req: DbRequest) -> None:
-        if req.op is Opcode.SCAN:
-            raise IndexError_("SCAN dispatched to a hash index")
+        if req.op in (Opcode.SCAN, Opcode.RANGE_SCAN):
+            raise IndexError_(f"{req.op.value} dispatched to a hash index")
         self._forward(self.q_keyfetch, req)
 
     # -- stage 1: KeyFetch ------------------------------------------------

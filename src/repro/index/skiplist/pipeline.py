@@ -178,7 +178,8 @@ class SkiplistPipeline(PipelineBase):
                     req.insert_payload = list(cell or [])
             if cur is None:
                 cur = yield self.read_port.read(cur_addr)
-            check_locks = self.hazard_prevention and req.op is not Opcode.SCAN
+            check_locks = self.hazard_prevention and req.op not in (
+                Opcode.SCAN, Opcode.RANGE_SCAN)
             while level >= bottom:
                 # horizontal movement within this stage's range
                 while True:
@@ -213,7 +214,7 @@ class SkiplistPipeline(PipelineBase):
     def _terminal(self, req: DbRequest, pred_addr: int, pred: Tower):
         t = self.timings
         yield self.clock.delay(t.terminal)
-        if req.op is Opcode.SCAN:
+        if req.op in (Opcode.SCAN, Opcode.RANGE_SCAN):
             # hand off to a scanner: first tower with key >= start key
             first_addr = pred.nexts[0]
             self._forward(self.scan_queues[next(self._scan_rr)],
@@ -322,6 +323,8 @@ class SkiplistPipeline(PipelineBase):
                 tower = yield self.read_port.read(addr)
                 if tower is None:
                     break
+                if req.scan_hi is not None and tower.key > req.scan_hi:
+                    break   # RANGE_SCAN: past the high key
                 yield self.clock.delay(t.scan_emit)
                 if tower.visible_at(req.ts):
                     if req.scan_limit and collected >= req.scan_limit:

@@ -136,6 +136,16 @@ def _build_instruction(op: Opcode, operands: list, line_no: int,
         count = _expect((Imm, Gp), operands[3], "count", line_no)
         out = _expect(BlockRef, operands[4], "output buffer", line_no)
         return Instruction(op, cp=cp, table=table, key=key, a=count, addr=out)
+    if op is Opcode.RANGE_SCAN:
+        need(6)
+        cp = _expect(Cp, operands[0], "destination CP", line_no)
+        table = _expect("table", operands[1], "table", line_no, tables)
+        lo = _expect((BlockRef, Gp), operands[2], "low key", line_no)
+        hi = _expect((BlockRef, Gp, Imm), operands[3], "high key", line_no)
+        count = _expect((Imm, Gp), operands[4], "count", line_no)
+        out = _expect(BlockRef, operands[5], "output buffer", line_no)
+        return Instruction(op, cp=cp, table=table, key=lo, b=hi, a=count,
+                           addr=out)
     if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
         need(3)
         return Instruction(op, dst=_expect(Gp, operands[0], "dst", line_no),

@@ -115,6 +115,19 @@ class ProcedureBuilder:
     def scan(self, cp, table, key, count: Value, out: BlockRef) -> "ProcedureBuilder":
         return self._db(Opcode.SCAN, cp, table, key, count=count, out=out)
 
+    def range_scan(self, cp, table, lo, hi, count: Value,
+                   out: BlockRef) -> "ProcedureBuilder":
+        """RANGE_SCAN rows with ``lo <= key <= hi`` (B+ tree / skiplist
+        indexes).  Integer ``lo``/``hi`` are transaction-block offsets,
+        like ``scan``'s key; pass ``Imm(v)`` for a literal high key."""
+        if isinstance(lo, int):
+            lo = BlockRef(lo)
+        if isinstance(hi, int):
+            hi = BlockRef(hi)
+        inst = Instruction(Opcode.RANGE_SCAN, cp=_cp(cp), table=table,
+                           key=lo, b=hi, a=_val(count), addr=out)
+        return self._emit(inst)
+
     # -- CPU instructions -----------------------------------------------------
     def add(self, dst, a: Value, b: Value) -> "ProcedureBuilder":
         return self._emit(Instruction(Opcode.ADD, dst=_gp(dst), a=_val(a), b=_val(b)))

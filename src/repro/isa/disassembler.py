@@ -71,6 +71,10 @@ def _render(inst: Instruction, target_labels: Mapping[int, str]) -> str:
     if op is Opcode.SCAN:
         return (f"SCAN {_operand(inst.cp)}, t{inst.table}, {_operand(inst.key)}, "
                 f"{_operand(inst.a)}, {_operand(inst.addr)}")
+    if op is Opcode.RANGE_SCAN:
+        return (f"RANGE_SCAN {_operand(inst.cp)}, t{inst.table}, "
+                f"{_operand(inst.key)}, {_operand(inst.b)}, "
+                f"{_operand(inst.a)}, {_operand(inst.addr)}")
     if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
         return f"{op.value} {_operand(inst.dst)}, {_operand(inst.a)}, {_operand(inst.b)}"
     if op is Opcode.MOV:

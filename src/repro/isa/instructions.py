@@ -46,6 +46,7 @@ class Opcode(enum.Enum):
     INSERT = "INSERT"
     SEARCH = "SEARCH"
     SCAN = "SCAN"
+    RANGE_SCAN = "RANGE_SCAN"
     UPDATE = "UPDATE"
     REMOVE = "REMOVE"
     # CPU: arithmetic / moves
@@ -76,7 +77,7 @@ class Opcode(enum.Enum):
 
 
 DB_OPCODES = frozenset({Opcode.INSERT, Opcode.SEARCH, Opcode.SCAN,
-                        Opcode.UPDATE, Opcode.REMOVE})
+                        Opcode.RANGE_SCAN, Opcode.UPDATE, Opcode.REMOVE})
 CPU_OPCODES = frozenset(op for op in Opcode if op not in DB_OPCODES)
 
 BRANCH_OPCODES = frozenset({Opcode.JMP, Opcode.BE, Opcode.BNE, Opcode.BLE,
@@ -184,6 +185,9 @@ class Instruction:
     REMOVE    cp=Cp, table=int, key=BlockRef|Gp
     SCAN      cp=Cp, table=int, key=BlockRef|Gp, a=Imm|Gp (count),
               addr=BlockRef (output buffer)
+    RANGE_SCAN cp=Cp, table=int, key=BlockRef|Gp (low key),
+              b=BlockRef|Gp|Imm (high key, inclusive), a=Imm|Gp (count),
+              addr=BlockRef (output buffer)
     ========  =======================================================
     """
 
@@ -210,8 +214,12 @@ class Instruction:
                 raise IsaError(f"{op.value} requires a table id")
             if self.key is None:
                 raise IsaError(f"{op.value} requires a key operand")
-            if op is Opcode.SCAN and (self.a is None or self.addr is None):
-                raise IsaError("SCAN requires a count and an output buffer")
+            if op in (Opcode.SCAN, Opcode.RANGE_SCAN) \
+                    and (self.a is None or self.addr is None):
+                raise IsaError(
+                    f"{op.value} requires a count and an output buffer")
+            if op is Opcode.RANGE_SCAN and self.b is None:
+                raise IsaError("RANGE_SCAN requires a high-key operand")
         elif op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV):
             if self.dst is None or self.a is None or self.b is None:
                 raise IsaError(f"{op.value} requires dst, a, b")

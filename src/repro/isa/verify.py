@@ -211,12 +211,13 @@ def verify_program(program: Program, n_registers: int = 256,
                               f"{op.value} dispatched from the "
                               f"{section.value} handler bypasses the "
                               f"commit protocol", section, i, insts))
-            if (op is Opcode.SCAN and isinstance(inst.a, Imm)
+            if (op in (Opcode.SCAN, Opcode.RANGE_SCAN)
+                    and isinstance(inst.a, Imm)
                     and inst.a.value is not None
                     and isinstance(inst.a.value, int) and inst.a.value < 1):
                 add(_anchored("warning", "scan-count",
-                              f"SCAN count {inst.a.value} never yields "
-                              f"rows", section, i, insts))
+                              f"{op.value} count {inst.a.value} never "
+                              f"yields rows", section, i, insts))
             if (inst.is_db and known_tables is not None
                     and inst.table not in known_tables):
                 add(_anchored("error", "unknown-table",
@@ -254,7 +255,7 @@ def verify_program(program: Program, n_registers: int = 256,
         node = prov.node
         insts = program.section(node.section)
         bad = sorted(o.value for o in prov.intent_opcodes
-                     if o in (Opcode.SEARCH, Opcode.SCAN))
+                     if o in (Opcode.SEARCH, Opcode.SCAN, Opcode.RANGE_SCAN))
         add(_anchored("error", "unprotected-write",
                       f"WRFIELD base can come from a {'/'.join(bad)} "
                       f"result: in-place write without a write intent "

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
-__all__ = ["TupleRecord", "Tower", "NULL_ADDR", "PAYLOAD_CELL_BYTES"]
+__all__ = ["TupleRecord", "Tower", "BPTreeNode", "NULL_ADDR",
+           "PAYLOAD_CELL_BYTES"]
 
 #: Sentinel for "no pointer" (hash-chain end / tower link end).
 NULL_ADDR = 0
@@ -69,6 +70,32 @@ class Tower:
 
     def visible_at(self, ts: int) -> bool:
         return not self.dirty and not self.tombstone and self.write_ts <= ts
+
+
+@dataclass
+class BPTreeNode:
+    """A B+ tree node: one modelled DRAM line of separators + pointers.
+
+    Inner nodes hold ``len(keys) + 1`` child node addresses; child ``i``
+    covers keys below ``keys[i]``, child ``i + 1`` keys at or above it.
+    Leaves hold one tuple-record address per key plus a ``next_leaf``
+    sibling link so range scans walk the bottom level without
+    re-descending.  CC metadata lives on the :class:`TupleRecord` the
+    leaf entries point at, never in the node itself.
+    """
+
+    is_leaf: bool
+    keys: List[Any] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)
+    next_leaf: int = NULL_ADDR          # leaf-chain link (leaves only)
+    addr: int = NULL_ADDR
+
+    def __post_init__(self):
+        if self.is_leaf:
+            if len(self.children) != len(self.keys):
+                raise ValueError("leaf needs one record address per key")
+        elif self.children and len(self.children) != len(self.keys) + 1:
+            raise ValueError("inner node needs len(keys)+1 children")
 
 
 def head_tower(height: int) -> Tower:

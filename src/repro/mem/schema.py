@@ -3,7 +3,8 @@
 The database is horizontally partitioned; each partition is owned by
 exactly one partition worker (§3.1, §4.6).  A :class:`TableSchema`
 names the table, chooses its index kind (hash for point access,
-skiplist for range scans) and carries the partition-routing function.
+skiplist or B+ tree for range scans) and carries the partition-routing
+function.
 Replicated read-only tables (TPC-C's Item) are materialised in every
 partition and always routed locally.
 """
@@ -25,6 +26,7 @@ class SchemaError(BionicError, ValueError):
 class IndexKind:
     HASH = "hash"
     SKIPLIST = "skiplist"
+    BPTREE = "bptree"
 
 
 def _default_partition(key: Any, n_partitions: int) -> int:
@@ -44,7 +46,8 @@ class TableSchema:
     partition_fn: Callable[[Any, int], int] = _default_partition
 
     def __post_init__(self):
-        if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST):
+        if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST,
+                                   IndexKind.BPTREE):
             raise SchemaError(f"unknown index kind {self.index_kind!r}")
         if self.hash_buckets < 1:
             raise SchemaError("hash_buckets must be >= 1")

@@ -15,10 +15,20 @@ engines run in the same process on the same host):
 Wall-clock reads below are the *measurement* of host cost — they never
 influence simulated behaviour, which is why the determinism-lint
 pragmas are legitimate.
+
+Timed regions run with the garbage collector quiesced
+(:func:`quiesced_gc`, the same discipline as :mod:`timeit`): a cyclic
+collection triggered by heap state accumulated *outside* the bench —
+a long pytest session, a prior CLI invocation — would otherwise land
+inside one engine's timing window and not the other's, and at
+``--repeats 1`` a single such pause is enough to flip a
+``speedup_vs_reference`` ratio.
 """
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import time
 from typing import Callable, Dict
 
@@ -28,7 +38,20 @@ from ..sim.sync import Fifo
 from ..sim.engine import Engine
 from .refengine import ReferenceEngine
 
-__all__ = ["run_microbenchmarks"]
+__all__ = ["run_microbenchmarks", "quiesced_gc"]
+
+
+@contextlib.contextmanager
+def quiesced_gc():
+    """Collect garbage now, then keep the collector off while timing."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _best_of(repeats: int, fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
@@ -49,9 +72,10 @@ def _bench_events(engine_factory: Callable, n_yields: int) -> Dict[str, float]:
 
     for _ in range(4):
         eng.process(ticker(n_yields // 4))
-    t0 = time.perf_counter()   # det: allow(wall-clock)
-    eng.run()
-    dt = time.perf_counter() - t0   # det: allow(wall-clock)
+    with quiesced_gc():
+        t0 = time.perf_counter()   # det: allow(wall-clock)
+        eng.run()
+        dt = time.perf_counter() - t0   # det: allow(wall-clock)
     return {"seconds": dt, "events": float(eng.events_fired),
             "rate": eng.events_fired / dt}
 
@@ -69,9 +93,10 @@ def _bench_port(engine_factory: Callable, n_reads: int) -> Dict[str, float]:
             yield port.read(base + (i & 63))   # dependent round-trips
 
     eng.process(reader(n_reads))
-    t0 = time.perf_counter()   # det: allow(wall-clock)
-    eng.run()
-    dt = time.perf_counter() - t0   # det: allow(wall-clock)
+    with quiesced_gc():
+        t0 = time.perf_counter()   # det: allow(wall-clock)
+        eng.run()
+        dt = time.perf_counter() - t0   # det: allow(wall-clock)
     return {"seconds": dt, "events": float(eng.events_fired),
             "rate": n_reads / dt}
 
@@ -90,9 +115,10 @@ def _bench_channel(engine_factory: Callable, n_msgs: int) -> Dict[str, float]:
 
     eng.process(producer(n_msgs))
     eng.process(consumer(n_msgs))
-    t0 = time.perf_counter()   # det: allow(wall-clock)
-    eng.run()
-    dt = time.perf_counter() - t0   # det: allow(wall-clock)
+    with quiesced_gc():
+        t0 = time.perf_counter()   # det: allow(wall-clock)
+        eng.run()
+        dt = time.perf_counter() - t0   # det: allow(wall-clock)
     return {"seconds": dt, "events": float(eng.events_fired),
             "rate": n_msgs / dt}
 

@@ -15,7 +15,10 @@ engine-independent host work.  The Figure 9 entry deliberately times
 the whole `bionicdb_ycsb_tput` call — that is what a sweep pays.
 
 As in :mod:`repro.perf.microbench`, wall-clock reads only *measure*
-host cost; all simulated behaviour is seeded and deterministic.
+host cost; all simulated behaviour is seeded and deterministic.  Timed
+regions run under :func:`~repro.perf.microbench.quiesced_gc` so a
+cyclic collection owed to heap state from *outside* the bench cannot
+land in one engine's window and skew ``speedup_vs_reference``.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import Callable, Dict, Optional
 
 from ..bench.fig09 import bionicdb_ycsb_tput
 from .equivalence import tpcc_setup, ycsb_setup
+from .microbench import quiesced_gc
 from .refengine import ReferenceEngine
 
 __all__ = ["run_simspeed"]
@@ -42,9 +46,10 @@ def _time_scenario(setup: Callable, engine_factory: Optional[Callable],
     for _ in range(max(1, repeats)):
         # fresh setup each repeat: the run phase mutates database state
         _db, run = setup(engine_factory, scale)
-        t0 = time.perf_counter()   # det: allow(wall-clock)
-        fp = run()
-        dt = time.perf_counter() - t0   # det: allow(wall-clock)
+        with quiesced_gc():
+            t0 = time.perf_counter()   # det: allow(wall-clock)
+            fp = run()
+            dt = time.perf_counter() - t0   # det: allow(wall-clock)
         if best is None or dt < best:
             best = dt
         if fingerprint is None:
@@ -60,10 +65,11 @@ def _time_fig09(engine_factory: Optional[Callable],
     best = None
     tput = None
     for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()   # det: allow(wall-clock)
-        t = bionicdb_ycsb_tput(2, n_txns=60, records_per_partition=2000,
-                               engine_factory=engine_factory)
-        dt = time.perf_counter() - t0   # det: allow(wall-clock)
+        with quiesced_gc():
+            t0 = time.perf_counter()   # det: allow(wall-clock)
+            t = bionicdb_ycsb_tput(2, n_txns=60, records_per_partition=2000,
+                                   engine_factory=engine_factory)
+            dt = time.perf_counter() - t0   # det: allow(wall-clock)
         if best is None or dt < best:
             best = dt
         if tput is None:

@@ -78,6 +78,9 @@ def per_worker_costs() -> Dict[str, ResourceVector]:
         "skiplist.base": ResourceVector(ff=925, lut=1292, bram=0),
         "skiplist.stage": ResourceVector(ff=650, lut=850, bram=1),
         "skiplist.scanner": ResourceVector(ff=700, lut=900, bram=1),
+        # B+ tree: base control (wave former + node cache tags) + per-stage
+        "bptree.base": ResourceVector(ff=1040, lut=1380, bram=1),
+        "bptree.stage": ResourceVector(ff=720, lut=940, bram=2),
         "softcore": ResourceVector(ff=1770, lut=2199, bram=3),
         "catalogue": ResourceVector(ff=371, lut=491, bram=2),
         "communication": ResourceVector(ff=620, lut=798, bram=2),

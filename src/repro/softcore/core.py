@@ -348,10 +348,12 @@ class Softcore:
                         route_key=route_key)
         if inst.opcode is Opcode.INSERT and isinstance(inst.b, BlockRef):
             req.payload_addr = self._block_addr(ctx, inst.b)
-        if inst.opcode is Opcode.SCAN:
+        if inst.opcode in (Opcode.SCAN, Opcode.RANGE_SCAN):
             req.scan_count = int(self._value(ctx, inst.a))
             req.scan_out_addr = self._block_addr(ctx, inst.addr)
             req.scan_limit = ctx.block.layout.n_scan
+        if inst.opcode is Opcode.RANGE_SCAN:
+            req.scan_hi = self._operand_value(ctx, inst.b)
         ctx.note_dispatch()
         self._db_insts.value += 1
         if dst is not None and dst != self.worker_id:
@@ -383,6 +385,17 @@ class Softcore:
             route_key = cell[0]
         return addr, None, route_key, None
 
+    def _operand_value(self, ctx: TxnContext, operand):
+        """Resolve an Imm/Gp/BlockRef operand to its value (the
+        RANGE_SCAN high key; block cells read via the working set)."""
+        if isinstance(operand, BlockRef):
+            addr = self._block_addr(ctx, operand)
+            offset = addr - ctx.block.data_base
+            if 0 <= offset < len(ctx.working_set):
+                return ctx.working_set[offset]
+            return self.dram.direct_read(addr)
+        return self._value(ctx, operand)
+
     # .. CPU instructions ...................................................
     def _exec_cpu(self, ctx: TxnContext, inst: Instruction):
         """Executes one CPU instruction; returns True on a section trap."""
@@ -411,7 +424,9 @@ class Softcore:
                 if ctx.fail_reason is None:
                     ctx.fail_reason = f"{db_op.value}: {result.code.name}"
                 return ctx.section is not Section.LOGIC
-            value = result.value if db_op is Opcode.SCAN else result.tuple_addr
+            value = (result.value
+                     if db_op in (Opcode.SCAN, Opcode.RANGE_SCAN)
+                     else result.tuple_addr)
             self.gp.write(ctx.gp_base + inst.dst.n, value)
             return False
 

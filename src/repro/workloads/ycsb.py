@@ -28,14 +28,15 @@ from ..mem.txnblock import BlockLayout
 from .zipf import ScrambledZipfianGenerator, UniformGenerator
 
 __all__ = ["YcsbConfig", "TxnSpec", "YcsbWorkload",
-           "YCSB_TABLE", "PROC_READ_BASE", "PROC_SCAN", "PROC_RMW_BASE",
-           "PROC_MIX_BASE"]
+           "YCSB_TABLE", "PROC_READ_BASE", "PROC_SCAN", "PROC_RANGE",
+           "PROC_RMW_BASE", "PROC_MIX_BASE"]
 
 YCSB_TABLE = 0
 #: proc id for an N-read transaction is PROC_READ_BASE + N
 PROC_READ_BASE = 100
 PROC_RMW_BASE = 300
 PROC_SCAN = 200
+PROC_RANGE = 201
 #: proc id for a mixed transaction is PROC_MIX_BASE + n_updates
 #: (total accesses fixed by the config)
 PROC_MIX_BASE = 500
@@ -73,7 +74,8 @@ class YcsbConfig:
         if not 0.0 <= self.remote_fraction <= 1.0:
             raise WorkloadError("remote_fraction must be in [0, 1]",
                                 remote_fraction=self.remote_fraction)
-        if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST):
+        if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST,
+                                   IndexKind.BPTREE):
             raise WorkloadError(f"unknown index kind {self.index_kind!r}")
 
     @property
@@ -173,6 +175,19 @@ class YcsbWorkload:
         b.commit()
         return b.build()
 
+    @staticmethod
+    def range_procedure(scan_length: int, layout: BlockLayout) -> Program:
+        """YCSB-E with an explicit high key: scan [lo, hi] bounded by
+        both the key range and a count limit (skiplist or B+ tree)."""
+        b = ProcedureBuilder(f"ycsb_range_{scan_length}")
+        b.range_scan(cp=0, table=YCSB_TABLE, lo=b.at(0), hi=b.at(1),
+                     count=scan_length, out=b.at(layout.scan))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.store(Gp(0), b.at(layout.out))  # publish the collected count
+        b.commit()
+        return b.build()
+
     # -- installation -------------------------------------------------------------
     def install(self, db: BionicDB, procedures: Sequence[int] = (),
                 load_data: bool = True) -> None:
@@ -190,6 +205,10 @@ class YcsbWorkload:
             db.register_procedure(PROC_RMW_BASE + n, self.rmw_procedure(n))
         db.register_procedure(
             PROC_SCAN, self.scan_procedure(cfg.scan_length, self.scan_layout()))
+        if cfg.index_kind != IndexKind.HASH:
+            db.register_procedure(
+                PROC_RANGE,
+                self.range_procedure(cfg.scan_length, self.range_layout()))
         if not load_data:
             return
         for key in range(cfg.total_records):
@@ -204,6 +223,11 @@ class YcsbWorkload:
     def scan_layout(self) -> BlockLayout:
         # @0 start key, @1 count out; scan buffer directly after
         return BlockLayout(n_inputs=1, n_outputs=1, n_scratch=0, n_undo=2,
+                           n_scan=self.config.scan_length + 14)
+
+    def range_layout(self) -> BlockLayout:
+        # @0 low key, @1 high key, @2 count out; scan buffer after
+        return BlockLayout(n_inputs=2, n_outputs=1, n_scratch=0, n_undo=2,
                            n_scan=self.config.scan_length + 14)
 
     # -- transaction generators -----------------------------------------------------
@@ -293,11 +317,31 @@ class YcsbWorkload:
                                home=home, kind="scan", keys=(start,)))
         return out
 
+    def make_range_txns(self, n_txns: int,
+                        span: Optional[int] = None) -> List[TxnSpec]:
+        """RANGE_SCAN transactions over [start, start + span - 1], the
+        whole range inside the home partition (span defaults to the
+        configured scan length)."""
+        cfg = self.config
+        width = span or cfg.scan_length
+        out = []
+        for t in range(n_txns):
+            home = t % cfg.n_partitions
+            lo = home * cfg.records_per_partition
+            start = lo + self._rng.randrange(
+                max(1, cfg.records_per_partition - width))
+            hi = start + width - 1
+            out.append(TxnSpec(proc_id=PROC_RANGE, inputs=(start, hi),
+                               home=home, kind="range", keys=(start, hi)))
+        return out
+
     # -- submission helper --------------------------------------------------------
     def layout_for(self, spec: TxnSpec) -> BlockLayout:
         """The block layout one generated transaction needs."""
         if spec.kind == "scan":
             return self.scan_layout()
+        if spec.kind == "range":
+            return self.range_layout()
         if spec.kind == "mix":
             return self.mixed_layout()
         return self.read_layout(len(spec.keys))

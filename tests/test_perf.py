@@ -113,8 +113,11 @@ def test_check_regressions_flags_missing_key():
 
 @pytest.mark.slow
 def test_cli_smoke_writes_bench_json(tmp_path):
+    # best-of-2 per sample: a single-sample speedup ratio is one CPU
+    # hiccup away from tripping the 25% self-check floor when the
+    # suite has been loading the machine for minutes
     out = tmp_path / "bench.json"
-    assert main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    assert main(["--smoke", "--out", str(out), "--repeats", "2"]) == 0
     results = json.loads(out.read_text())
     assert results["schema"] == "repro.perf/v1"
     assert results["mode"] == "smoke"
@@ -124,4 +127,4 @@ def test_cli_smoke_writes_bench_json(tmp_path):
     assert "fig09_ycsb_smoke" in results["simspeed"]
     # the written file must be usable as its own regression baseline
     assert main(["--smoke", "--out", str(tmp_path / "second.json"),
-                 "--repeats", "1", "--check", str(out)]) == 0
+                 "--repeats", "2", "--check", str(out)]) == 0
