@@ -91,6 +91,13 @@ class BionicCluster:
     def node_of(self, worker: int) -> int:
         return worker // self.workers_per_node
 
+    def ownership_map(self):
+        """partition -> (owner node, epoch); static here (no failover —
+        that's :class:`repro.cluster.ha.HACluster`), but the same shape
+        the front-end router consults before re-homing a cross-node
+        submit."""
+        return {w: (self.node_of(w), 0) for w in range(self.total_workers)}
+
     # -- schema / procedures / loading -------------------------------------
     def define_table(self, schema: TableSchema) -> TableSchema:
         self.schemas.add(schema)

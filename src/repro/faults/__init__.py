@@ -24,6 +24,8 @@ from .plan import (
 _DRILL_NAMES = ("DrillConfig", "DrillResult", "RecoveryDrill", "run_sweep")
 _CLUSTER_DRILL_NAMES = ("ClusterDrillConfig", "ClusterDrillResult",
                         "ClusterDrill", "run_cluster_sweep")
+_OVERLOAD_DRILL_NAMES = ("OverloadDrillConfig", "OverloadDrillResult",
+                         "OverloadDrill", "run_overload_sweep")
 
 
 def __getattr__(name):
@@ -36,6 +38,9 @@ def __getattr__(name):
     if name in _CLUSTER_DRILL_NAMES:
         from . import cluster_drill
         return getattr(cluster_drill, name)
+    if name in _OVERLOAD_DRILL_NAMES:
+        from . import overload_drill
+        return getattr(overload_drill, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -49,4 +54,6 @@ __all__ = [
     "DrillConfig", "DrillResult", "RecoveryDrill", "run_sweep",
     "ClusterDrillConfig", "ClusterDrillResult", "ClusterDrill",
     "run_cluster_sweep",
+    "OverloadDrillConfig", "OverloadDrillResult", "OverloadDrill",
+    "run_overload_sweep",
 ]

@@ -28,12 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from ..errors import FrontendError, RetryableError, StuckTransactionError
+from ..errors import (
+    CrossNodeTransactionError, FrontendError, RetryableError,
+    StuckTransactionError,
+)
 from ..mem.txnblock import TxnStatus
 from .admission import (
     AdmissionConfig, AdmissionController, REASON_DEADLINE, REASON_RX_OVERFLOW,
 )
 from .nic import Nic, NicConfig
+from .resilience import ResilienceConfig
+from .router import RequestRouter
 from .scheduler import DispatchScheduler, SchedulerConfig
 from .session import ClientSession, Request, SessionConfig
 from .slo import FrontendReport
@@ -46,6 +51,10 @@ class FrontendConfig:
     nic: NicConfig = field(default_factory=NicConfig)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: the overload-resilience layer (brownout, breakers, retry budget,
+    #: re-home, park/replay); disabled by default — no router is built
+    #: and the serving path is bit-identical to the plain front-end
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     @staticmethod
     def passthrough() -> "FrontendConfig":
@@ -82,6 +91,8 @@ class FrontEnd:
         self.scheduler = DispatchScheduler(
             self.engine, n_workers, self.config.scheduler,
             submit=self._submit, on_timeout=self._timeout, stats=db.stats)
+        self.router = (RequestRouter(self)
+                       if self.config.resilience.enabled else None)
         self.sessions: List[ClientSession] = []
         self._by_txn = {}              # txn_id -> Request (in the chip)
         self._procs = list(self.scheduler.procs)
@@ -93,12 +104,14 @@ class FrontEnd:
 
     # -- sessions -----------------------------------------------------------
     def session(self, factory, config: Optional[SessionConfig] = None,
-                **kwargs) -> ClientSession:
+                rng=None, **kwargs) -> ClientSession:
         """Open a client session.
 
         ``factory(i) -> (block, home_worker)`` builds request *i* at its
         arrival instant.  Pass a :class:`SessionConfig`, or its fields
-        as keyword arguments.
+        as keyword arguments.  ``rng`` (a seeded ``random.Random``)
+        replaces the session's private RNG so several sessions — and
+        their retry-backoff jitter — reproduce from one workload seed.
         """
         if not self._attached:
             raise FrontendError("front-end is detached from its system")
@@ -106,7 +119,8 @@ class FrontEnd:
             config = SessionConfig(**kwargs)
         elif kwargs:
             raise FrontendError("pass a SessionConfig or kwargs, not both")
-        sess = ClientSession(self, len(self.sessions), config, factory)
+        sess = ClientSession(self, len(self.sessions), config, factory,
+                             rng=rng)
         self.sessions.append(sess)
         self.scheduler.register_session(sess.id, config.weight)
         return sess
@@ -125,6 +139,8 @@ class FrontEnd:
     def _deliver(self, req: Request):
         """Drive one request to a terminal outcome, retrying sheds."""
         cfg = req.session.config
+        if self.router is not None:
+            self.router.note_first_attempt(req)
         while True:
             ok = yield from self.nic.transmit(req)
             if ok:
@@ -133,9 +149,17 @@ class FrontEnd:
                 self._finish(req, "rejected", REASON_RX_OVERFLOW)
             if (req.outcome == "rejected"
                     and req.attempts < cfg.max_retries):
+                if (self.router is not None
+                        and not self.router.allow_retry(req)):
+                    # budget exhausted: go terminal with the last shed
+                    # reason rather than amplify the storm
+                    req.session.stats.retries_denied += 1
+                    break
                 req.attempts += 1
                 req.session.stats.retries += 1
                 backoff = cfg.retry_backoff_ns * (2 ** (req.attempts - 1))
+                if cfg.retry_jitter > 0:
+                    backoff *= 1.0 - cfg.retry_jitter * req.session._rng.random()
                 if backoff > 0:
                     yield backoff
                 req.reset_for_retry(self.engine)
@@ -159,6 +183,11 @@ class FrontEnd:
             if req.expired(self.engine.now):
                 self._finish(req, "timed_out", REASON_DEADLINE)
                 continue
+            if self.router is not None:
+                reason = self.router.gate(req, self.engine.now)
+                if reason is not None:
+                    self._finish(req, "rejected", reason)
+                    continue
             reason = self.admission.check(self.scheduler.backlog)
             if reason is not None:
                 self._finish(req, "rejected", reason)
@@ -169,6 +198,15 @@ class FrontEnd:
         self._by_txn[req.block.txn_id] = req
         try:
             self.db.submit(req.block, req.home)
+        except CrossNodeTransactionError as exc:
+            # the block lives in another node's DRAM: with a router,
+            # re-plan onto the true home lane; without one, propagate —
+            # this is a mis-wired factory, not a transient
+            del self._by_txn[req.block.txn_id]
+            self.scheduler.note_done(req.home)
+            if self.router is not None and self.router.rehome(req, exc):
+                return
+            raise
         except RetryableError as exc:
             # a transient cluster condition (stale epoch, owner failing
             # over, replication lag): the request was not executed, so
@@ -176,6 +214,11 @@ class FrontEnd:
             # retry-with-backoff loop already knows how to drive that
             del self._by_txn[req.block.txn_id]
             self.scheduler.note_done(req.home)
+            if self.router is not None:
+                now = self.engine.now
+                self.router.note_failure(req, now)
+                if self.router.park(req, now):
+                    return      # held for replay once the partition heals
             self._finish(req, "rejected", f"retryable:{type(exc).__name__}")
 
     def _timeout(self, req: Request) -> None:
@@ -200,6 +243,8 @@ class FrontEnd:
         if req is None:
             return    # not front-end traffic (direct submit)
         self.scheduler.note_done(req.home)
+        if self.router is not None:
+            self.router.note_success(req, self.engine.now)
         req.outcome = ("committed"
                        if block.header.status is TxnStatus.COMMITTED
                        else "aborted")
@@ -240,7 +285,7 @@ class FrontEnd:
                 raise proc._exc
 
     def report(self) -> FrontendReport:
-        return FrontendReport(
+        report = FrontendReport(
             elapsed_ns=self.engine.now - self._start_ns,
             sessions=[s.stats for s in self.sessions],
             nic_delivered=self.nic.delivered,
@@ -251,6 +296,16 @@ class FrontEnd:
             },
             dispatched=self.scheduler._dispatched.value,
         )
+        router = self.router
+        if router is not None:
+            report.breaker_transitions = router.breakers.transitions()
+            report.retry_budget = router.budget.totals()
+            report.brownout_shed = dict(
+                sorted(router.brownout.shed_counts.items()))
+            report.rehomed = router.rehomed
+            report.parked = router.parked
+            report.replayed = router.replayed
+        return report
 
     # -- lifecycle -----------------------------------------------------------
     def detach(self) -> None:

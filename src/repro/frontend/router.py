@@ -1,0 +1,385 @@
+"""The cluster-aware retry router: planning behind typed retry signals.
+
+Two faces over the same :mod:`repro.frontend.resilience` primitives:
+
+* :class:`RequestRouter` — embedded in a :class:`FrontEnd`, on the
+  discrete-event engine.  It gates admission (brownout shedding by
+  priority class, per-partition circuit breakers), re-homes
+  ``CrossNodeTransactionError`` submits onto the block's true home
+  lane, parks requests bounced by a retryable cluster error and
+  replays them when the partition heals, and enforces the per-class
+  retry budget on the session retry loop.
+* :class:`ClusterRetryRouter` — a control-plane planner over
+  :class:`repro.cluster.ha.HACluster`'s hand-advanced clock.  It
+  caches ``ownership_map()``, refreshes it on ``StaleEpochError``
+  (re-homing submits to the current owner), reconciles against the
+  authoritative log before any re-execution so retries never
+  double-apply, lets the cluster queue-and-replay during migration
+  windows, and fails fast through the same breaker/budget machinery
+  so a failover cannot snowball into a retry storm.
+
+Both are exercised by ``repro.faults.overload_drill`` (``python -m
+repro.faults.drill --suite overload``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from ..errors import (
+    FrontendError, PartitionUnavailableError, ReplicationStalledError,
+    StaleEpochError,
+)
+from .resilience import (
+    REASON_BREAKER, REASON_BROWNOUT, REASON_PARK_EXPIRED,
+    BreakerBank, BreakerConfig, BrownoutController, ResilienceConfig,
+    RetryBudget, RetryBudgetConfig,
+)
+
+__all__ = ["RequestRouter", "ClusterRouterConfig", "ClusterRetryRouter"]
+
+
+class RequestRouter:
+    """The FrontEnd-embedded overload-resilience layer.
+
+    Constructed only when ``FrontendConfig.resilience.enabled`` — the
+    disabled path keeps the serving path bit-identical (zero events,
+    zero RNG draws, zero extra state).
+    """
+
+    def __init__(self, frontend):
+        self.frontend = frontend
+        self.engine = frontend.engine
+        self.config: ResilienceConfig = frontend.config.resilience
+        self.budget = RetryBudget(self.config.budget)
+        self.breakers = BreakerBank(self.config.breaker)
+        self.brownout = BrownoutController(
+            self.config.brownout,
+            capacity=frontend.config.admission.max_backlog)
+        self._parked: List[Any] = []
+        self._replay_armed = False
+        # counters surfaced in FrontendReport
+        self.rehomed = 0
+        self.parked = 0
+        self.replayed = 0
+        self.breaker_fast_fails = 0
+
+    # -- admission-side gate (runs in the pump, before the bucket) ----------
+    def gate(self, req, now_ns: float) -> Optional[str]:
+        """Shed reason for this request, or ``None`` to let it through.
+
+        Brownout first (cheapest signal, protects the whole box), then
+        the target partition's breaker (protects queue slots from work
+        that is known to be doomed)."""
+        priority = req.session.config.priority
+        if self.brownout.should_shed(priority,
+                                     self.frontend.scheduler.backlog):
+            self.brownout.note_shed(priority)
+            return REASON_BROWNOUT
+        if not self.breakers.allow(req.home, now_ns):
+            self.breaker_fast_fails += 1
+            return REASON_BREAKER
+        return None
+
+    # -- submit-side planning ------------------------------------------------
+    def rehome(self, req, exc) -> bool:
+        """A ``CrossNodeTransactionError``: the block lives in another
+        node's DRAM.  Re-plan onto the block's true home lane instead
+        of failing the request back to the client."""
+        if not self.config.rehome:
+            return False
+        target = getattr(req.block, "home_worker", None)
+        if target is None or target == req.home:
+            return False
+        owner_map = getattr(self.frontend.db, "ownership_map", None)
+        if owner_map is not None:
+            owner, _epoch = owner_map().get(target, (None, None))
+            if owner is None:
+                return False
+        req.home = target
+        self.rehomed += 1
+        self.frontend.scheduler.enqueue(req)
+        return True
+
+    def park(self, req, now_ns: float) -> bool:
+        """Hold a request bounced by a retryable cluster error and
+        replay it when the partition heals; ``False`` = don't park
+        (expired, disabled, or past the park budget) — the caller
+        sheds it to the client instead."""
+        cfg = self.config
+        if not cfg.park or req.expired(now_ns):
+            return False
+        if req.first_parked_ns is None:
+            req.first_parked_ns = now_ns
+        elif now_ns - req.first_parked_ns >= cfg.max_park_ns:
+            return False
+        self._parked.append(req)
+        self.parked += 1
+        self._arm_replay()
+        return True
+
+    def _arm_replay(self) -> None:
+        # one-shot timer, re-armed only while requests are parked: the
+        # event heap must drain once all requests are terminal, so the
+        # replay poller never sits in an infinite loop
+        if self._replay_armed:
+            return
+        self._replay_armed = True
+        proc = self.engine.process(self._replay(),
+                                   name="frontend.router.replay")
+        self.frontend._track(proc)
+
+    def _replay(self):
+        yield self.config.replay_interval_ns
+        self._replay_armed = False
+        frontend = self.frontend
+        now = self.engine.now
+        still_parked: List[Any] = []
+        for req in self._parked:
+            if req.expired(now):
+                frontend._finish(req, "timed_out", "deadline-exceeded")
+            elif self.breakers.allow(req.home, now):
+                self.replayed += 1
+                frontend.scheduler.enqueue(req)
+            elif now - req.first_parked_ns >= self.config.max_park_ns:
+                frontend._finish(req, "rejected", REASON_PARK_EXPIRED)
+            else:
+                still_parked.append(req)
+        self._parked = still_parked
+        if still_parked:
+            self._arm_replay()
+
+    # -- retry budget (runs in the session retry loop) -----------------------
+    def note_first_attempt(self, req) -> None:
+        self.budget.note_first_attempt(req.session.config.priority)
+
+    def allow_retry(self, req) -> bool:
+        return self.budget.try_spend(req.session.config.priority)
+
+    # -- breaker signals -----------------------------------------------------
+    def note_failure(self, req, now_ns: float) -> None:
+        self.breakers.record_failure(req.home, now_ns)
+
+    def note_success(self, req, now_ns: float) -> None:
+        self.breakers.record_success(req.home, now_ns)
+
+
+# -- the control-plane planner ----------------------------------------------
+
+class ClusterRouterConfig:
+    """Knobs for :class:`ClusterRetryRouter`."""
+
+    def __init__(self, budget: Optional[RetryBudgetConfig] = None,
+                 breaker: Optional[BreakerConfig] = None,
+                 round_refill: float = 1.0,
+                 max_epoch_refreshes: int = 4):
+        self.budget = budget or RetryBudgetConfig(ratio=0.5, burst=16)
+        self.breaker = breaker or BreakerConfig()
+        #: tokens trickled back per :meth:`ClusterRetryRouter.pump`
+        #: round so a long recovery cannot starve once a storm has
+        #: passed; amplification stays bounded by the settle budget
+        self.round_refill = round_refill
+        self.max_epoch_refreshes = max_epoch_refreshes
+        if round_refill < 0:
+            raise FrontendError("round_refill must be >= 0",
+                                round_refill=round_refill)
+        if max_epoch_refreshes < 1:
+            raise FrontendError("max_epoch_refreshes must be >= 1",
+                                max_epoch_refreshes=max_epoch_refreshes)
+
+
+class ClusterRetryRouter:
+    """Plans a transaction stream onto an :class:`HACluster`.
+
+    The client-visible contract: :meth:`route` every transaction once
+    (tags must be sortable), :meth:`pump` (or :meth:`settle`) until
+    :attr:`done`; every routed transaction then appears in
+    :attr:`acked` exactly once, and :meth:`HACluster.reconcile`
+    guarantees none was executed twice.
+
+    Planning rules, in order:
+
+    * **Stalled first.** A transaction that executed but missed its
+      replication ack is *reconciled against the authoritative log*
+      before any re-submit — a committed transaction is never
+      double-applied.
+    * **Breakers fail fast.** A partition whose submits keep bouncing
+      (owner dead, not yet failed over) trips its breaker; further
+      submits are skipped entirely until the cooldown admits probes.
+    * **Retries are budgeted.** Re-attempts spend per-class tokens
+      funded by first-attempt traffic (plus a per-round trickle), so
+      retry amplification is bounded no matter how long the outage.
+    * **Stale epochs re-home.** ``StaleEpochError`` refreshes the
+      cached ``ownership_map()`` and re-submits to the current owner.
+    * **Migrations queue-and-replay.** ``queued`` results park at the
+      cluster; :meth:`pump` collects them from ``released`` after the
+      re-own, and re-routes anything the cluster ``deferred``.
+    * **Order is preserved.** Per-partition FIFO: a transaction never
+      overtakes an earlier one bound for the same partition.
+    """
+
+    def __init__(self, cluster, config: Optional[ClusterRouterConfig] = None):
+        self.cluster = cluster
+        self.config = config or ClusterRouterConfig()
+        self.budget = RetryBudget(self.config.budget)
+        self.breakers = BreakerBank(self.config.breaker)
+        self.epochs: Dict[int, int] = {
+            p: epoch for p, (_owner, epoch)
+            in sorted(cluster.ownership_map().items())}
+        self.specs: Dict[Any, tuple] = {}       # tag -> (spec, layout)
+        self.acked: Dict[Any, tuple] = {}       # tag -> (txn_id, outcome)
+        self.pending: Dict[int, List[Any]] = {}  # partition -> ordered tags
+        self.stalled: Set[Any] = set()
+        self.queued: Set[Any] = set()
+        self._seen: Set[Any] = set()
+        # accounting
+        self.attempts = 0
+        self.reexecuted = 0
+        self.stale_refreshes = 0
+        self.rehomed = 0
+        self.breaker_fast_fails = 0
+        self.queued_total = 0
+
+    # -- public surface ------------------------------------------------------
+    def route(self, tag: Any, spec, layout) -> None:
+        """Accept one transaction for delivery; submits immediately
+        unless earlier work for the same partition is still pending."""
+        if tag in self.specs:
+            raise FrontendError("tag already routed", tag=tag)
+        self.specs[tag] = (spec, layout)
+        self._collect()
+        queue = self.pending.setdefault(spec.home, [])
+        queue.append(tag)
+        self._flush(spec.home)
+
+    def pump(self) -> None:
+        """One control-plane round: refill the budget trickle, collect
+        router-released/deferred work, and flush every partition."""
+        self.budget.deposit(self.config.round_refill)
+        self._collect()
+        for p in sorted(self.pending):
+            self._flush(p)
+
+    def settle(self, max_rounds: int, advance_ns: float) -> int:
+        """Pump (advancing the cluster clock between rounds) until
+        everything routed is acked; returns the rounds consumed.
+        Raises :class:`FrontendError` on non-convergence."""
+        for rounds in range(max_rounds):
+            self.pump()
+            if self.done:
+                return rounds
+            self.cluster.advance(advance_ns)
+        self.pump()
+        if self.done:
+            return max_rounds
+        missing = sorted(set(self.specs) - set(self.acked))
+        raise FrontendError(
+            "stream did not converge within the settle budget",
+            missing=missing, rounds=max_rounds,
+            pending={p: q for p, q in sorted(self.pending.items()) if q},
+            breaker_states=self.breakers.states())
+
+    @property
+    def done(self) -> bool:
+        return len(self.acked) == len(self.specs)
+
+    @property
+    def first_attempts(self) -> int:
+        return len(self._seen)
+
+    @property
+    def amplification(self) -> float:
+        """Submit attempts per routed transaction (1.0 = no retries)."""
+        return self.attempts / len(self.specs) if self.specs else 0.0
+
+    def refresh(self) -> None:
+        """Re-cache the ownership map (the StaleEpochError response)."""
+        for p, (_owner, epoch) in sorted(self.cluster.ownership_map().items()):
+            if self.epochs.get(p) != epoch:
+                self.rehomed += 1
+            self.epochs[p] = epoch
+
+    # -- internals -----------------------------------------------------------
+    def _collect(self) -> None:
+        """Pull migration releases and deferred work back from the
+        cluster router."""
+        cluster = self.cluster
+        for tag, res in list(cluster.released.items()):
+            self.acked[tag] = (res.txn_id, res.outcome)
+            self.queued.discard(tag)
+            self.breakers.record_success(res.partition, cluster.now_ns)
+            del cluster.released[tag]
+        changed = set()
+        while cluster.deferred:
+            spec, _layout, tag = cluster.deferred.pop(0)
+            self.queued.discard(tag)
+            queue = self.pending.setdefault(spec.home, [])
+            if tag not in queue:
+                queue.append(tag)
+                changed.add(spec.home)
+            if cluster.attempt_of(tag) is not None:
+                self.stalled.add(tag)
+        for p in sorted(changed):
+            self.pending[p].sort()
+
+    def _flush(self, partition: int) -> None:
+        queue = self.pending.get(partition, ())
+        while queue:
+            if not self._try(queue[0]):
+                return
+            queue.pop(0)
+
+    def _try(self, tag: Any) -> bool:
+        """One placement attempt; ``True`` = tag is acked or queued at
+        the cluster (either way it has left ``pending``)."""
+        cluster, cfg = self.cluster, self.config
+        spec, layout = self.specs[tag]
+        p = spec.home
+        if tag in self.stalled:
+            rc = cluster.reconcile(tag)
+            if rc is not None:
+                state, status = rc
+                if state == "acked":
+                    self.stalled.discard(tag)
+                    self.acked[tag] = (cluster.attempt_of(tag)[1], status)
+                    self.breakers.record_success(p, cluster.now_ns)
+                    return True
+                return False        # executed, replication still stuck
+            self.stalled.discard(tag)   # no durable trace: re-execute
+            self.reexecuted += 1
+        if not self.breakers.allow(p, cluster.now_ns):
+            self.breaker_fast_fails += 1
+            return False
+        if tag in self._seen and not self.budget.try_spend():
+            return False
+        first = tag not in self._seen
+        self._seen.add(tag)
+        if first:
+            self.budget.note_first_attempt()
+        for _ in range(cfg.max_epoch_refreshes):
+            self.attempts += 1
+            try:
+                res = cluster.submit_spec(spec, layout,
+                                          client_epoch=self.epochs.get(p),
+                                          tag=tag)
+            except StaleEpochError:
+                self.stale_refreshes += 1
+                self.refresh()
+                continue
+            except PartitionUnavailableError:
+                self.breakers.record_failure(p, cluster.now_ns)
+                return False
+            except ReplicationStalledError:
+                self.breakers.record_failure(p, cluster.now_ns)
+                self.stalled.add(tag)
+                return False
+            if res.status == "queued":
+                self.queued.add(tag)
+                self.queued_total += 1
+            else:
+                self.acked[tag] = (res.txn_id, res.outcome)
+                self.breakers.record_success(p, cluster.now_ns)
+            return True
+        raise FrontendError(
+            "submit still fenced after repeated ownership refreshes",
+            tag=tag, partition=p, epoch=self.epochs.get(p))

@@ -30,7 +30,7 @@ class Request:
 
     __slots__ = ("session", "index", "block", "home", "deadline_at_ns",
                  "created_at_ns", "outcome", "reason", "done_event", "seq",
-                 "attempts", "in_system")
+                 "attempts", "in_system", "first_parked_ns")
 
     def __init__(self, session: "ClientSession", index: int, block,
                  home: int, created_at_ns: float,
@@ -49,6 +49,10 @@ class Request:
         #: True once the pump has accepted this attempt — a second RX
         #: copy of the same attempt (an injected duplicate) is discarded
         self.in_system = False
+        #: set by the router when a retryable cluster error first parks
+        #: this attempt — bounds how long a request may wait for a
+        #: partition to heal before it is shed back to the client
+        self.first_parked_ns: Optional[float] = None
 
     def expired(self, now_ns: float) -> bool:
         return self.deadline_at_ns is not None and now_ns > self.deadline_at_ns
@@ -65,6 +69,7 @@ class Request:
         self.outcome = None
         self.reason = None
         self.in_system = False
+        self.first_parked_ns = None
         self.done_event = engine.event()
 
 
@@ -87,6 +92,18 @@ class SessionConfig:
     #: or by admission control); timed-out requests are never retried
     max_retries: int = 0
     retry_backoff_ns: float = 20_000.0
+    #: backoff jitter fraction in [0, 1]: each backoff is scaled by a
+    #: factor drawn in ``[1 - retry_jitter, 1]`` from the session RNG
+    #: (sharable via ``rng=`` so drills reproduce from one seed) —
+    #: de-synchronises retry storms without extending SLO clocks
+    retry_jitter: float = 0.0
+    #: priority class for brownout shedding and retry budgeting:
+    #: 0 = most important (never browned out by default), higher =
+    #: shed earlier under overload
+    priority: int = 0
+    #: arrival-process start offset, ns from session creation — lets a
+    #: flash crowd or storm session begin mid-run
+    start_ns: float = 0.0
     seed: int = 1
 
     def __post_init__(self):
@@ -118,20 +135,33 @@ class SessionConfig:
         if self.retry_backoff_ns < 0:
             raise ConfigError("retry_backoff_ns must be >= 0",
                               retry_backoff_ns=self.retry_backoff_ns)
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigError("retry_jitter must be in [0, 1]",
+                              retry_jitter=self.retry_jitter)
+        if self.priority < 0:
+            raise ConfigError("priority must be >= 0",
+                              priority=self.priority)
+        if self.start_ns < 0:
+            raise ConfigError("start_ns must be >= 0",
+                              start_ns=self.start_ns)
 
 
 class ClientSession:
     """One tenant's traffic source, wired through a FrontEnd."""
 
     def __init__(self, frontend, session_id: int, config: SessionConfig,
-                 factory: Callable[[int], Tuple[Any, int]]):
+                 factory: Callable[[int], Tuple[Any, int]],
+                 rng: Optional[random.Random] = None):
         self.frontend = frontend
         self.id = session_id
         self.config = config
         self.factory = factory
-        self.stats = SessionStats(name=config.name)
+        self.stats = SessionStats(name=config.name, priority=config.priority)
         self.requests = []            # every Request ever generated
-        self._rng = random.Random(config.seed)
+        #: arrivals, think time and retry jitter all draw from this —
+        #: pass the workload's RNG (``rng=``) to make a multi-session
+        #: overload drill reproducible from a single seed
+        self._rng = rng if rng is not None else random.Random(config.seed)
         engine = frontend.engine
         if config.arrival == "open":
             proc = engine.process(self._open_loop(),
@@ -161,6 +191,8 @@ class ClientSession:
 
     # -- arrival processes ---------------------------------------------------
     def _open_loop(self):
+        if self.config.start_ns > 0:
+            yield self.config.start_ns
         gap_ns = 1e9 / self.config.rate_tps
         for i in range(self.config.n_requests):
             req = self._make(i)
@@ -168,6 +200,8 @@ class ClientSession:
             yield self._rng.expovariate(1.0) * gap_ns
 
     def _closed_loop(self, counter):
+        if self.config.start_ns > 0:
+            yield self.config.start_ns
         for i in counter:
             req = self._make(i)
             yield from self.frontend._deliver(req)

@@ -1,0 +1,530 @@
+"""Tests for the overload-resilience layer: budgets, breakers, brownout,
+the cluster-aware retry router, and the metastable-failure drills.
+
+The layer's contract has three parts, each tested here:
+
+* **Bounded amplification** — retries can never exceed
+  ``burst + ratio × first_attempts`` per priority class.
+* **Fail fast, then heal** — breakers trip on repeated partition
+  failures, fail further work fast, and re-close after probe success;
+  parked requests replay once the partition heals.
+* **Exactly-once through retries** — the cluster router reconciles
+  against the authoritative log before any re-submit, so a failover
+  retry never double-executes a committed transaction.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import BionicCluster
+from repro.core import BionicConfig, BionicDB
+from repro.errors import (
+    ConfigError, CrossNodeTransactionError, FrontendError,
+    PartitionUnavailableError,
+)
+from repro.frontend import (
+    AdmissionConfig, BreakerBank, BreakerConfig, BrownoutConfig,
+    BrownoutController, CircuitBreaker, ClusterRetryRouter,
+    ClusterRouterConfig, FrontEnd, FrontendConfig, ResilienceConfig,
+    RetryBudget, RetryBudgetConfig, SchedulerConfig, SessionConfig,
+    REASON_BREAKER, REASON_BROWNOUT,
+)
+from repro.frontend.resilience import (
+    BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN,
+)
+from repro.isa import Gp, ProcedureBuilder
+from repro.mem import TableSchema
+
+N_KEYS = 200
+
+
+def _install_kv(db, n_keys=N_KEYS):
+    db.define_table(TableSchema(0, "kv", hash_buckets=512))
+    b = ProcedureBuilder("get")
+    b.search(cp=0, table=0, key=b.at(0))
+    b.commit_handler()
+    b.ret(0, 0)
+    b.store(Gp(0), b.at(1))
+    b.commit()
+    db.register_procedure(1, b.build())
+    for k in range(n_keys):
+        db.load(0, k, [f"v{k}"])
+
+
+def make_db(n_workers=2):
+    db = BionicDB(BionicConfig(n_workers=n_workers))
+    _install_kv(db)
+    return db
+
+
+def make_factory(db, n_workers=None):
+    total = n_workers or db.config.n_workers
+
+    def factory(i):
+        key = i % N_KEYS
+        home = db.schemas.table(0).route(key, total)
+        return db.new_block(1, [key, None], worker=home), home
+
+    return factory
+
+
+# -- retry budget ------------------------------------------------------------
+
+class TestRetryBudget:
+    def test_burst_then_exhaustion(self):
+        budget = RetryBudget(RetryBudgetConfig(ratio=0.0, burst=3))
+        assert [budget.try_spend() for _ in range(5)] == \
+            [True, True, True, False, False]
+        assert budget.totals() == {"granted": 3, "denied": 2}
+
+    def test_first_attempts_fund_retries(self):
+        budget = RetryBudget(RetryBudgetConfig(ratio=0.5, burst=2))
+        for _ in range(2):
+            assert budget.try_spend()
+        assert not budget.try_spend()        # burst gone
+        budget.note_first_attempt()
+        budget.note_first_attempt()          # 2 × 0.5 = 1 token
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_amplification_bound_holds_under_any_interleaving(self):
+        cfg = RetryBudgetConfig(ratio=0.3, burst=5)
+        budget = RetryBudget(cfg)
+        rng = random.Random(11)
+        first = granted = 0
+        for _ in range(400):
+            if rng.random() < 0.5:
+                budget.note_first_attempt()
+                first += 1
+            elif budget.try_spend():
+                granted += 1
+        assert granted <= cfg.burst + cfg.ratio * first
+
+    def test_deposit_caps_at_burst(self):
+        budget = RetryBudget(RetryBudgetConfig(ratio=0.5, burst=4))
+        budget.deposit(100.0)
+        assert budget.tokens() == 4.0
+
+    def test_classes_are_isolated(self):
+        budget = RetryBudget(RetryBudgetConfig(ratio=0.0, burst=1))
+        assert budget.try_spend(cls=2)
+        assert not budget.try_spend(cls=2)   # class 2 drained...
+        assert budget.try_spend(cls=0)       # ...class 0 untouched
+
+    def test_disabled_always_grants(self):
+        budget = RetryBudget(RetryBudgetConfig(enabled=False, burst=0))
+        assert all(budget.try_spend() for _ in range(10))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RetryBudgetConfig(ratio=-0.1)
+        with pytest.raises(ConfigError):
+            RetryBudgetConfig(burst=-1)
+
+
+# -- circuit breakers --------------------------------------------------------
+
+def _breaker(**kw):
+    base = dict(window=8, min_samples=2, failure_threshold=0.5,
+                open_ns=1_000.0, half_open_probes=2, close_after=1)
+    base.update(kw)
+    return CircuitBreaker(BreakerConfig(**base))
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_under_min_samples(self):
+        brk = _breaker(min_samples=3)
+        brk.record_failure(0.0)
+        brk.record_failure(0.0)     # 2 samples < min_samples=3
+        assert brk.state == BREAKER_CLOSED
+
+    def test_trips_at_failure_threshold(self):
+        brk = _breaker()
+        brk.record_failure(0.0)
+        brk.record_failure(0.0)
+        assert brk.state == BREAKER_OPEN
+        assert not brk.allow(100.0)          # still cooling down
+        assert brk.opened == 1
+
+    def test_successes_dilute_the_window(self):
+        brk = _breaker(min_samples=2, failure_threshold=0.9)
+        for _ in range(6):
+            brk.record_success(0.0)
+        brk.record_failure(0.0)              # 1/7 < 0.9
+        assert brk.state == BREAKER_CLOSED
+
+    def test_half_open_probes_then_reclose(self):
+        brk = _breaker(open_ns=1_000.0, half_open_probes=2)
+        brk.record_failure(0.0)
+        brk.record_failure(0.0)
+        assert brk.allow(1_000.0)            # cooldown over: probe 1
+        assert brk.state == BREAKER_HALF_OPEN
+        assert brk.allow(1_000.0)            # probe 2
+        assert not brk.allow(1_000.0)        # probes exhausted
+        brk.record_success(1_500.0)
+        assert brk.state == BREAKER_CLOSED
+        assert brk.reclosed == 1
+
+    def test_failed_probe_reopens_immediately(self):
+        brk = _breaker()
+        brk.record_failure(0.0)
+        brk.record_failure(0.0)
+        assert brk.allow(1_000.0)            # half-open probe
+        brk.record_failure(1_200.0)
+        assert brk.state == BREAKER_OPEN
+        assert not brk.allow(1_500.0)        # new cooldown from 1200
+        assert brk.allow(2_200.0)
+
+    def test_bank_is_per_partition_and_aggregates(self):
+        bank = BreakerBank(BreakerConfig(window=4, min_samples=2,
+                                         open_ns=1_000.0,
+                                         half_open_probes=1, close_after=1))
+        bank.record_failure(3, 0.0)
+        bank.record_failure(3, 0.0)
+        assert not bank.allow(3, 0.0)
+        assert bank.allow(1, 0.0)            # other partitions unaffected
+        assert not bank.all_closed()
+        assert bank.states()[3] == BREAKER_OPEN
+        assert bank.allow(3, 1_000.0)
+        bank.record_success(3, 1_100.0)
+        assert bank.all_closed()
+        assert bank.transitions() == {"opened": 1, "half_opened": 1,
+                                      "reclosed": 1}
+
+    def test_disabled_bank_always_allows(self):
+        bank = BreakerBank(BreakerConfig(enabled=False, window=2,
+                                         min_samples=1))
+        bank.record_failure(0, 0.0)
+        assert bank.allow(0, 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(window=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(min_samples=9, window=8)
+        with pytest.raises(ConfigError):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(close_after=3, half_open_probes=2)
+
+
+# -- brownout ----------------------------------------------------------------
+
+class TestBrownout:
+    def test_sheds_low_priority_first(self):
+        ctl = BrownoutController(
+            BrownoutConfig(shed_at=(2.0, 0.85, 0.6)), capacity=100)
+        assert not ctl.should_shed(0, 70)    # class 0 never (2.0 > 1)
+        assert not ctl.should_shed(1, 70)    # 0.70 < 0.85
+        assert ctl.should_shed(2, 70)        # 0.70 >= 0.60
+
+    def test_hysteresis_releases_below_threshold(self):
+        ctl = BrownoutController(
+            BrownoutConfig(shed_at=(0.6,), release=0.5), capacity=100)
+        assert ctl.should_shed(0, 60)        # engage at 0.60
+        assert ctl.should_shed(0, 40)        # 0.40 >= 0.60 × 0.5: hold
+        assert not ctl.should_shed(0, 29)    # 0.29 < 0.30: release
+        assert not ctl.should_shed(0, 40)    # re-engages only at 0.60
+
+    def test_priority_beyond_table_uses_last_entry(self):
+        ctl = BrownoutController(BrownoutConfig(shed_at=(2.0, 0.5)),
+                                 capacity=10)
+        assert ctl.should_shed(7, 5)
+
+    def test_disabled_or_uncapped_never_sheds(self):
+        ctl = BrownoutController(BrownoutConfig(enabled=False), capacity=10)
+        assert not ctl.should_shed(5, 10)
+        ctl = BrownoutController(BrownoutConfig(), capacity=None)
+        assert not ctl.should_shed(5, 10)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BrownoutConfig(shed_at=())
+        with pytest.raises(ConfigError):
+            BrownoutConfig(shed_at=(0.0,))
+        with pytest.raises(ConfigError):
+            BrownoutConfig(release=1.5)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(replay_interval_ns=0.0)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(max_park_ns=1.0, replay_interval_ns=2.0)
+
+
+# -- FrontEnd integration ----------------------------------------------------
+
+class TestFrontendResilience:
+    def test_disabled_resilience_builds_no_router(self):
+        db = make_db()
+        fe = FrontEnd(db, FrontendConfig())
+        assert fe.router is None
+        fe.session(make_factory(db), SessionConfig(
+            name="t", arrival="open", rate_tps=500_000.0, n_requests=20))
+        rep = fe.run()
+        fe.detach()
+        assert rep.committed == 20
+        # report keeps the pre-resilience shape when the layer is off
+        assert rep.breaker_transitions == {} and rep.retry_budget == {}
+        assert rep.parked == rep.replayed == rep.rehomed == 0
+        assert "breakers" not in rep.render()
+
+    def test_brownout_sheds_by_priority_class(self):
+        db = make_db()
+        fe = FrontEnd(db, FrontendConfig(
+            admission=AdmissionConfig(enabled=True, max_backlog=32),
+            scheduler=SchedulerConfig(policy="fifo",
+                                      max_inflight_per_worker=8),
+            resilience=ResilienceConfig(
+                enabled=True,
+                brownout=BrownoutConfig(shed_at=(2.0, 0.85, 0.6)))))
+        base = fe.session(make_factory(db), SessionConfig(
+            name="base", arrival="open", rate_tps=300_000.0,
+            n_requests=80, priority=0, weight=4.0))
+        crowd = fe.session(make_factory(db), SessionConfig(
+            name="crowd", arrival="open", rate_tps=5_000_000.0,
+            n_requests=150, priority=2, weight=1.0))
+        rep = fe.run()
+        fe.detach()
+        assert rep.conserved
+        assert crowd.stats.rejected_brownout > 0
+        assert base.stats.rejected_brownout == 0
+        by_class = rep.by_class()
+        assert by_class[2]["rejected_brownout"] == \
+            crowd.stats.rejected_brownout
+        assert rep.brownout_shed.get(2, 0) >= crowd.stats.rejected_brownout
+        assert "class 2:" in rep.render()
+        for row in by_class.values():
+            assert (row["committed"] + row["aborted"] + row["rejected"]
+                    + row["timed_out"] == row["offered"])
+
+    def test_retry_budget_bounds_session_retries(self):
+        db = make_db()
+        budget = RetryBudgetConfig(ratio=0.0, burst=3)
+        fe = FrontEnd(db, FrontendConfig(
+            admission=AdmissionConfig(enabled=True, rate_tps=150_000.0,
+                                      burst=1),
+            resilience=ResilienceConfig(enabled=True, budget=budget)))
+        sess = fe.session(make_factory(db), SessionConfig(
+            name="t", arrival="open", rate_tps=2_000_000.0, n_requests=40,
+            max_retries=10, retry_backoff_ns=2_000.0))
+        rep = fe.run()
+        fe.detach()
+        assert rep.conserved
+        assert sess.stats.retries <= budget.burst     # ratio=0: hard cap
+        assert sess.stats.retries_denied > 0
+        assert rep.retry_budget["denied"] == sess.stats.retries_denied
+
+    def test_breaker_parks_and_replays_through_an_outage(self):
+        db = make_db()
+        fe = FrontEnd(db, FrontendConfig(resilience=ResilienceConfig(
+            enabled=True,
+            breaker=BreakerConfig(window=8, min_samples=2,
+                                  open_ns=100_000.0, half_open_probes=2,
+                                  close_after=1),
+            replay_interval_ns=50_000.0)))
+        heal_at = 400_000.0
+        real_submit = db.submit
+
+        def flaky_submit(block, worker=None):
+            if db.engine.now < heal_at:
+                raise PartitionUnavailableError(
+                    "owner failing over", partition=worker, node=0,
+                    reason="induced outage")
+            return real_submit(block, worker)
+
+        db.submit = flaky_submit
+        sess = fe.session(make_factory(db), SessionConfig(
+            name="t", arrival="open", rate_tps=600_000.0, n_requests=24,
+            max_retries=6, retry_backoff_ns=80_000.0))
+        rep = fe.run()
+        fe.detach()
+        assert rep.conserved
+        assert rep.parked > 0 and rep.replayed > 0
+        assert rep.breaker_transitions["opened"] >= 1
+        assert rep.committed > 0
+        assert fe.router.breakers.all_closed()
+        shed = [r for r in sess.requests if r.outcome == "rejected"]
+        for req in shed:
+            assert req.reason == REASON_BREAKER \
+                or req.reason.startswith("retryable:") \
+                or req.reason in ("brownout-shed", "parked-past-budget")
+
+    def test_rehome_replans_cross_node_submits(self):
+        cluster = BionicCluster(n_nodes=2, config=BionicConfig(n_workers=1))
+        _install_kv(cluster)
+        fe = FrontEnd(cluster, FrontendConfig(
+            resilience=ResilienceConfig(enabled=True)))
+
+        def misrouted_factory(i):
+            key = i % N_KEYS
+            home = cluster.schemas.table(0).route(key,
+                                                  cluster.total_workers)
+            block = cluster.new_block(1, [key, None], worker=home)
+            return block, (home + 1) % cluster.total_workers   # wrong node
+
+        fe.session(misrouted_factory, SessionConfig(
+            name="clu", arrival="open", rate_tps=400_000.0, n_requests=30))
+        rep = fe.run()
+        fe.detach()
+        assert rep.committed == 30 and rep.conserved
+        assert rep.rehomed == 30
+
+    def test_cross_node_submit_without_router_still_raises(self):
+        cluster = BionicCluster(n_nodes=2, config=BionicConfig(n_workers=1))
+        _install_kv(cluster)
+        fe = FrontEnd(cluster, FrontendConfig())     # resilience off
+
+        def misrouted_factory(i):
+            block = cluster.new_block(1, [0, None], worker=0)
+            return block, 1                          # other node's worker
+
+        fe.session(misrouted_factory, SessionConfig(
+            name="clu", arrival="open", rate_tps=400_000.0, n_requests=2))
+        with pytest.raises(CrossNodeTransactionError):
+            fe.run()
+        fe.detach()
+
+    def test_retry_jitter_reproduces_from_a_shared_rng(self):
+        def run_once(seed):
+            db = make_db()
+            fe = FrontEnd(db, FrontendConfig(
+                admission=AdmissionConfig(enabled=True, rate_tps=150_000.0,
+                                          burst=1),
+                resilience=ResilienceConfig(enabled=True)))
+            sess = fe.session(make_factory(db), SessionConfig(
+                name="t", arrival="open", rate_tps=2_000_000.0,
+                n_requests=30, max_retries=4, retry_backoff_ns=3_000.0,
+                retry_jitter=0.5), rng=random.Random(seed))
+            rep = fe.run()
+            fe.detach()
+            return (rep.committed, rep.rejected, sess.stats.retries,
+                    [r.attempts for r in sess.requests],
+                    fe.engine.now)
+
+        assert run_once(5) == run_once(5)            # bit-identical replay
+        sess_cfg = SessionConfig(name="t", arrival="open", rate_tps=1.0,
+                                 retry_jitter=0.25)
+        assert sess_cfg.retry_jitter == 0.25
+        with pytest.raises(ConfigError):
+            SessionConfig(name="t", arrival="open", rate_tps=1.0,
+                          retry_jitter=1.5)
+
+
+# -- the cluster-aware retry router ------------------------------------------
+
+def _mini_ha_cluster(seed=0, n_txns=8):
+    from repro.cluster.ha import HACluster
+    from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+    wl = YcsbWorkload(YcsbConfig(records_per_partition=12, n_partitions=2,
+                                 reads_per_txn=2, payload="x" * 4,
+                                 seed=seed))
+    specs = wl.make_rmw_txns(n_txns)
+    cluster = HACluster(
+        2, 2,
+        build_node=lambda: BionicDB(BionicConfig(n_workers=2)),
+        install_node=lambda db: wl.install(db, load_data=True),
+        step_ns=1_000.0)
+    layouts = [wl.layout_for(s) for s in specs]
+    return cluster, specs, layouts
+
+
+def _mini_router(cluster):
+    return ClusterRetryRouter(cluster, ClusterRouterConfig(
+        budget=RetryBudgetConfig(ratio=0.5, burst=8),
+        breaker=BreakerConfig(window=8, min_samples=2,
+                              open_ns=cluster.ha.heartbeat_timeout_ns,
+                              half_open_probes=2, close_after=1)))
+
+
+class TestClusterRetryRouter:
+    def test_plain_stream_converges_without_retries(self):
+        cluster, specs, layouts = _mini_ha_cluster()
+        router = _mini_router(cluster)
+        for i, spec in enumerate(specs):
+            router.route(i, spec, layouts[i])
+        rounds = router.settle(10, cluster.ha.heartbeat_timeout_ns / 2)
+        assert router.done and rounds == 0
+        assert router.amplification == 1.0
+        assert sorted(router.acked) == list(range(len(specs)))
+
+    def test_duplicate_tag_is_rejected(self):
+        cluster, specs, layouts = _mini_ha_cluster()
+        router = _mini_router(cluster)
+        router.route(0, specs[0], layouts[0])
+        with pytest.raises(FrontendError):
+            router.route(0, specs[1], layouts[1])
+
+    def test_failover_retries_never_double_execute(self):
+        cluster, specs, layouts = _mini_ha_cluster(seed=3, n_txns=10)
+        router = _mini_router(cluster)
+        kill_at = 4
+        for i, spec in enumerate(specs):
+            if i == kill_at:
+                cluster.kill_node(cluster.owner_of(specs[i].home))
+            router.route(i, spec, layouts[i])
+        router.settle(60, cluster.ha.heartbeat_timeout_ns / 2)
+        assert cluster.failovers
+        assert sorted(router.acked) == list(range(len(specs)))
+        # the satellite invariant: reconcile() must agree with every
+        # ack — an acked txn has exactly one durable terminal record,
+        # so no retry re-executed a committed transaction
+        for tag, (_txn_id, outcome) in sorted(router.acked.items()):
+            assert cluster.reconcile(tag) == ("acked", outcome)
+        assert router.amplification <= 3.0
+        assert router.breakers.all_closed()
+
+    def test_migration_queues_and_replays(self):
+        cluster, specs, layouts = _mini_ha_cluster(seed=1, n_txns=8)
+        router = _mini_router(cluster)
+        move_at = 3
+        target = specs[move_at].home
+        migration = None
+        for i, spec in enumerate(specs):
+            if i == move_at:
+                src = cluster.owner_of(target)
+                dst = (src + 1) % 2
+                migration = cluster.begin_migration(target, dst)
+            router.route(i, spec, layouts[i])
+        assert router.queued_total > 0       # landed in the drain window
+        router.settle(60, cluster.ha.heartbeat_timeout_ns / 2)
+        from repro.cluster.migration import MigrationState
+        for _ in range(8):
+            if migration.state is MigrationState.DONE:
+                break
+            cluster.advance(cluster.ha.heartbeat_timeout_ns)
+            router.pump()
+        assert migration.state is MigrationState.DONE
+        assert sorted(router.acked) == list(range(len(specs)))
+        assert cluster.owner_of(target) == migration.dst
+        for tag, (_txn_id, outcome) in sorted(router.acked.items()):
+            assert cluster.reconcile(tag) == ("acked", outcome)
+
+    def test_router_config_validation(self):
+        with pytest.raises(FrontendError):
+            ClusterRouterConfig(round_refill=-1.0)
+        with pytest.raises(FrontendError):
+            ClusterRouterConfig(max_epoch_refreshes=0)
+
+
+# -- drill smoke -------------------------------------------------------------
+
+@pytest.mark.overload
+@pytest.mark.parametrize("flavor", [
+    "retry_storm_failover", "migration_under_load",
+    "flash_crowd", "slow_client_storm",
+])
+def test_overload_drill_flavor_smoke(flavor):
+    from repro.faults import OverloadDrill, OverloadDrillConfig
+    result = OverloadDrill(OverloadDrillConfig(seed=2, flavor=flavor)).run()
+    assert result.ok, result.summary()
+    assert result.flavor == flavor
+
+
+@pytest.mark.overload
+def test_overload_sweep_small():
+    from repro.faults.overload_drill import run_overload_sweep
+    results = run_overload_sweep(range(6))
+    assert all(r.ok for r in results), [r.summary() for r in results
+                                        if not r.ok]
+    # the weighted flavour draw must exercise more than one shape
+    assert len({r.flavor for r in results}) >= 2
