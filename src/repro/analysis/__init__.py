@@ -20,6 +20,16 @@ homed.  This package proves those properties (or produces findings)
 * :mod:`.provenance` — §4.4 partition-ownership analysis: key-origin
   abstract interpretation, per-dispatch partition classification, and
   the static MLP estimate.
+* :mod:`.footprint` — per-procedure partition/key footprint summaries
+  (constant keys → exact partitions, anchored keys → home partition,
+  RANGE_SCAN → key intervals) and the deployment-joined
+  single-partition/single-node/cross-node routing verdicts.
+* :mod:`.conflict` — pairwise static conflict matrix over the shipped
+  registry (commute / may-conflict / must-serialize) plus the batch
+  former's co-batching hints.
+* :mod:`.wcet` — worst-case cycle bound per procedure, charging the
+  timing model's stage costs over the longest flow-graph path with
+  bounded loops.
 * :mod:`.lint` — determinism lint for the simulator's own Python
   (``python -m repro.analysis.lint src/repro``).
 
@@ -44,6 +54,14 @@ from .provenance import (
     DispatchInfo, EpochOwnershipReport, KeyOrigin, PartitionSummary,
     analyze_partitions, check_epoch_ownership, static_mlp,
 )
+from .footprint import (
+    Access, FootprintIndex, FootprintSummary, KeyBound, StaticRoute,
+    analyze_footprint,
+)
+from .conflict import (
+    BatchConflictHints, ConflictMatrix, build_conflict_matrix,
+)
+from .wcet import WcetModel, WcetReport, analyze_wcet
 
 __all__ = [
     "EXIT", "BasicBlock", "Cfg", "build_cfg", "build_all_cfgs",
@@ -55,4 +73,8 @@ __all__ = [
     "pending_cps", "write_provenance", "check_commit_protocol",
     "KeyOrigin", "DispatchInfo", "PartitionSummary", "analyze_partitions",
     "static_mlp", "EpochOwnershipReport", "check_epoch_ownership",
+    "KeyBound", "Access", "FootprintSummary", "StaticRoute",
+    "analyze_footprint", "FootprintIndex",
+    "ConflictMatrix", "build_conflict_matrix", "BatchConflictHints",
+    "WcetModel", "WcetReport", "analyze_wcet",
 ]

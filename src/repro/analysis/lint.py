@@ -28,14 +28,31 @@ in real simulator codebases:
     machine that already crashed must not accept further durable
     writes from unwinding cleanup code (see
     :mod:`repro.faults.plan`).
+``arbitrary-pop``
+    ``set.pop()`` removes an *arbitrary* element (hash-order
+    dependent), and ``dict.popitem()`` couples results to insertion
+    history; both leak container order into simulation state.  Pop a
+    chosen key, or sort first.
+``hash-randomisation``
+    the builtin ``hash()`` is salted per process for ``str``/``bytes``
+    (PYTHONHASHSEED), so any result derived from it — bucket choice,
+    partition id, fingerprint — differs between runs.  Use a stable
+    digest (``zlib.crc32``, ``hashlib``) for values that reach state.
+``fs-order``
+    ``os.listdir``/``os.scandir``/``Path.iterdir``/``glob``/``rglob``
+    return entries in platform-dependent order; feeding them to an
+    order-insensitive sink (``sorted`` …) is fine, iterating them
+    directly is not.
 
 Suppression: append ``# det: allow(<rule>)`` to the offending line for
 a reviewed exception, or put ``# det: skip-file`` on its own line to
 skip a whole file.  Run as::
 
-    python -m repro.analysis.lint src/repro
+    python -m repro.analysis.lint [--json] src/repro
 
 exits 0 when clean, 1 when any finding survives its pragmas.
+``--json`` prints machine-readable findings (rule id, file, line,
+severity) for CI artifacts instead of the human lines.
 """
 
 from __future__ import annotations
@@ -47,9 +64,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths", "main"]
+__all__ = ["LintFinding", "lint_source", "lint_file", "lint_paths",
+           "findings_json", "main"]
 
-RULES = ("wall-clock", "unseeded-random", "set-order", "fault-latch")
+RULES = ("wall-clock", "unseeded-random", "set-order", "fault-latch",
+         "arbitrary-pop", "hash-randomisation", "fs-order")
 
 _ALLOW_RE = re.compile(r"#\s*det:\s*allow\(([a-z-]+)\)")
 _SKIP_FILE_RE = re.compile(r"#\s*det:\s*skip-file")
@@ -66,6 +85,10 @@ _RANDOM_FUNCS = {"random", "randint", "randrange", "uniform", "choice",
 #: callables whose result does not depend on iteration order
 _ORDER_FREE_SINKS = {"sorted", "set", "frozenset", "sum", "min", "max",
                      "any", "all", "len"}
+#: Path methods yielding entries in platform-dependent order
+_FS_ITER_ATTRS = {"iterdir", "glob", "rglob"}
+#: os-level directory listers (same hazard)
+_FS_ITER_FUNCS = {"os.listdir", "os.scandir"}
 
 
 @dataclass(frozen=True)
@@ -220,6 +243,35 @@ class _Linter(ast.NodeVisitor):
                 self._report(node, "unseeded-random",
                              "random.Random() with no seed is "
                              "time-seeded; pass an explicit seed")
+            elif dotted in _FS_ITER_FUNCS and not self._order_free:
+                self._report(node, "fs-order",
+                             f"{dotted}() yields entries in "
+                             f"platform-dependent order; wrap in sorted(...)")
+
+        if isinstance(node.func, ast.Name) and node.func.id == "hash" \
+                and len(node.args) == 1:
+            self._report(node, "hash-randomisation",
+                         "builtin hash() is salted per process for "
+                         "str/bytes (PYTHONHASHSEED); use a stable digest "
+                         "for values that reach state")
+
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            bare = not node.args and not node.keywords
+            if attr == "pop" and bare and _is_set_expr(node.func.value,
+                                                       self._bound_sets()):
+                self._report(node, "arbitrary-pop",
+                             "set.pop() removes a hash-order-dependent "
+                             "element; pop a chosen key instead")
+            elif attr == "popitem" and bare:
+                self._report(node, "arbitrary-pop",
+                             ".popitem() couples results to container "
+                             "insertion/hash order; pop a chosen key "
+                             "instead")
+            elif attr in _FS_ITER_ATTRS and not self._order_free:
+                self._report(node, "fs-order",
+                             f".{attr}() yields entries in "
+                             f"platform-dependent order; wrap in sorted(...)")
 
         sink = (isinstance(node.func, ast.Name)
                 and node.func.id in _ORDER_FREE_SINKS)
@@ -309,12 +361,30 @@ def lint_paths(paths: Iterable) -> List[LintFinding]:
     return findings
 
 
+def findings_json(findings: Sequence[LintFinding]) -> dict:
+    """Stable machine-readable findings document (CI artifact shape)."""
+    return {
+        "tool": "repro.analysis.lint",
+        "rules": list(RULES),
+        "findings": [{
+            "rule": f.rule, "severity": "error", "path": f.path,
+            "line": f.line, "message": f.message,
+        } for f in findings],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    as_json = "--json" in argv
+    argv = [a for a in argv if a != "--json"]
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0 if argv else 2
     findings = lint_paths(argv)
+    if as_json:
+        import json
+        print(json.dumps(findings_json(findings), indent=2, sort_keys=True))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:

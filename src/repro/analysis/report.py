@@ -2,9 +2,13 @@
 
 Backs ``python -m repro.analysis report <proc>``: per-section CFG with
 dominators, per-block GP/CP liveness at block boundaries, the partition
-summary (key provenance, static MLP), the commit-protocol verdict, and
-the verifier findings — everything an operator wants to see before a
-procedure is allowed near the softcore.
+summary (key provenance, static MLP), the footprint summary and routing
+class, the self-conflict verdict, the WCET bound, the commit-protocol
+verdict, and the verifier findings — everything an operator wants to
+see before a procedure is allowed near the softcore.
+
+:func:`report_json` returns the same facts as a stable machine-readable
+document (the ``--json`` flag and the CI analysis gate consume it).
 """
 
 from __future__ import annotations
@@ -16,12 +20,15 @@ from ..isa.instructions import Program, Section
 from ..isa.verify import verify_program
 from ..mem.schema import Catalog
 from .cfg import build_all_cfgs
+from .conflict import build_conflict_matrix
 from .dataflow import FlowGraph, Node
+from .footprint import analyze_footprint
 from .liveness import live_cp, live_gp
 from .protocol import check_commit_protocol
 from .provenance import analyze_partitions
+from .wcet import analyze_wcet
 
-__all__ = ["render_report"]
+__all__ = ["render_report", "report_json"]
 
 
 def _regs(prefix: str, regs: Iterable[int]) -> str:
@@ -68,6 +75,18 @@ def render_report(program: Program, schemas: Optional[Catalog] = None,
                                  n_workers=n_workers, graph=graph)
     lines.append(summary.format())
 
+    footprint = analyze_footprint(program, schemas=schemas,
+                                  n_workers=n_workers, graph=graph)
+    lines.append("")
+    lines.append(footprint.format())
+    matrix = build_conflict_matrix([(program.name, footprint)])
+    lines.append(f"self-conflict: "
+                 f"{matrix.verdict(program.name, program.name)}")
+
+    wcet = analyze_wcet(program, graph=graph)
+    lines.append("")
+    lines.append(wcet.format())
+
     protocol = check_commit_protocol(program, graph)
     lines.append("")
     lines.append("commit protocol: "
@@ -84,3 +103,43 @@ def render_report(program: Program, schemas: Optional[Catalog] = None,
     else:
         lines.append("verifier: clean")
     return "\n".join(lines) + "\n"
+
+
+def report_json(program: Program, schemas: Optional[Catalog] = None,
+                n_workers: Optional[int] = None) -> dict:
+    """All analysis passes for one procedure, as a stable document."""
+    if not program.finalized:
+        program.finalize()
+    cfgs = build_all_cfgs(program)
+    graph = FlowGraph(program, cfgs)
+    summary = analyze_partitions(program, schemas=schemas,
+                                 n_workers=n_workers, graph=graph)
+    footprint = analyze_footprint(program, schemas=schemas,
+                                  n_workers=n_workers, graph=graph)
+    matrix = build_conflict_matrix([(program.name, footprint)])
+    wcet = analyze_wcet(program, graph=graph)
+    protocol = check_commit_protocol(program, graph)
+    verify = verify_program(program, schemas=schemas, n_workers=n_workers)
+    return {
+        "program": program.name,
+        "sections": {
+            section.value: len(cfgs[section].insts) for section in Section
+        },
+        "static_mlp": summary.static_mlp,
+        "partition_summary": {
+            "dispatches": [{
+                "at": repr(d.node), "op": d.opcode.value, "table": d.table,
+                "kind": d.kind, "anchors": sorted(d.anchors),
+                "const_key": d.const_key, "partition": d.partition,
+            } for d in summary.dispatches],
+        },
+        "footprint": footprint.to_json(),
+        "self_conflict": matrix.verdict(program.name, program.name),
+        "wcet": wcet.to_json(),
+        "commit_protocol_proven": protocol.proven,
+        "verifier": [{
+            "severity": f.severity, "code": f.code, "message": f.message,
+            "section": f.section.value if f.section else None,
+            "index": f.index,
+        } for f in verify.findings],
+    }

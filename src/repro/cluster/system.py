@@ -91,6 +91,20 @@ class BionicCluster:
     def node_of(self, worker: int) -> int:
         return worker // self.workers_per_node
 
+    def footprint_index(self):
+        """Lazily built static footprint summaries over the registered
+        procedures (:class:`repro.analysis.footprint.FootprintIndex`) —
+        what the front-end router consults to classify a submit as
+        single-node *before* it can bounce off
+        :class:`CrossNodeTransactionError`.  Summaries are cached per
+        proc_id; re-registering procedures invalidates the cache."""
+        if getattr(self, "_footprints", None) is None:
+            from ..analysis.footprint import FootprintIndex
+            self._footprints = FootprintIndex(
+                self.catalogue, self.schemas, self.total_workers,
+                node_of=self.node_of)
+        return self._footprints
+
     def ownership_map(self):
         """partition -> (owner node, epoch); static here (no failover —
         that's :class:`repro.cluster.ha.HACluster`), but the same shape
@@ -108,6 +122,7 @@ class BionicCluster:
     def register_procedure(self, proc_id: int, program,
                            verify: bool = True) -> None:
         self.catalogue.register(proc_id, program, verify=verify)
+        self._footprints = None
 
     def load(self, table_id: int, key: Any, fields: Sequence[Any],
              partition: Optional[int] = None) -> None:

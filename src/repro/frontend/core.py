@@ -188,6 +188,7 @@ class FrontEnd:
                 if reason is not None:
                     self._finish(req, "rejected", reason)
                     continue
+                self.router.plan(req)
             reason = self.admission.check(self.scheduler.backlog)
             if reason is not None:
                 self._finish(req, "rejected", reason)
@@ -305,6 +306,7 @@ class FrontEnd:
             report.rehomed = router.rehomed
             report.parked = router.parked
             report.replayed = router.replayed
+            report.planned = router.planned
         return report
 
     # -- lifecycle -----------------------------------------------------------

@@ -62,7 +62,16 @@ class RequestRouter:
         self.rehomed = 0
         self.parked = 0
         self.replayed = 0
+        self.planned = 0
         self.breaker_fast_fails = 0
+        # static pre-classification (repro.analysis.footprint): built
+        # from the db's procedure catalogue when the backend exposes
+        # one and the config opts in; None keeps planning dynamic-only
+        self._footprints = None
+        if self.config.static_planning:
+            index = getattr(frontend.db, "footprint_index", None)
+            if index is not None:
+                self._footprints = index()
 
     # -- admission-side gate (runs in the pump, before the bucket) ----------
     def gate(self, req, now_ns: float) -> Optional[str]:
@@ -82,6 +91,29 @@ class RequestRouter:
         return None
 
     # -- submit-side planning ------------------------------------------------
+    def plan(self, req) -> None:
+        """Statically pre-classify the request before it is enqueued:
+        when the block's procedure footprint proves it home-anchored
+        (single-node) and the chosen lane is on a *different* node,
+        move the request onto the block's home lane now — the
+        ``CrossNodeTransactionError`` bounce that :meth:`rehome` would
+        later re-plan from never happens.  Same-node lanes are left
+        alone (the on-chip channels serve those), as are procedures the
+        analysis cannot bound (the dynamic bounce path still works)."""
+        if self._footprints is None:
+            return
+        block = getattr(req, "block", None)
+        target = getattr(block, "home_worker", None)
+        if target is None or target == req.home:
+            return
+        node_of = getattr(self.frontend.db, "node_of", None)
+        if node_of is None or node_of(req.home) == node_of(target):
+            return
+        route = self._footprints.classify(block.proc_id, target)
+        if route is not None and route.single_node:
+            req.home = target
+            self.planned += 1
+
     def rehome(self, req, exc) -> bool:
         """A ``CrossNodeTransactionError``: the block lives in another
         node's DRAM.  Re-plan onto the block's true home lane instead
@@ -216,11 +248,21 @@ class ClusterRetryRouter:
       re-own, and re-routes anything the cluster ``deferred``.
     * **Order is preserved.** Per-partition FIFO: a transaction never
       overtakes an earlier one bound for the same partition.
+    * **Footprints pre-classify.** With a
+      :class:`repro.analysis.footprint.FootprintIndex`, every routed
+      spec is classified single-partition / single-node / cross-node
+      *before* the first submit; a procedure whose pinned partitions
+      are owned by a different node than its home is rejected with a
+      typed error at :meth:`route` time — zero submit attempts, where
+      the dynamic path would bounce and burn retry budget.
     """
 
-    def __init__(self, cluster, config: Optional[ClusterRouterConfig] = None):
+    def __init__(self, cluster, config: Optional[ClusterRouterConfig] = None,
+                 footprints=None):
         self.cluster = cluster
         self.config = config or ClusterRouterConfig()
+        #: optional FootprintIndex-alike exposing ``summary(proc_id)``
+        self.footprints = footprints
         self.budget = RetryBudget(self.config.budget)
         self.breakers = BreakerBank(self.config.breaker)
         self.epochs: Dict[int, int] = {
@@ -239,13 +281,21 @@ class ClusterRetryRouter:
         self.rehomed = 0
         self.breaker_fast_fails = 0
         self.queued_total = 0
+        self.planned_rejects = 0
+        #: tag -> static routing verdict (when footprints are wired)
+        self.static_routes: Dict[Any, str] = {}
+        #: verdict -> count over everything routed
+        self.static_counts: Dict[str, int] = {}
 
     # -- public surface ------------------------------------------------------
     def route(self, tag: Any, spec, layout) -> None:
         """Accept one transaction for delivery; submits immediately
-        unless earlier work for the same partition is still pending."""
+        unless earlier work for the same partition is still pending.
+        With footprints wired, a statically cross-node spec is rejected
+        here — before any submit attempt."""
         if tag in self.specs:
             raise FrontendError("tag already routed", tag=tag)
+        self._preclassify(tag, spec)
         self.specs[tag] = (spec, layout)
         self._collect()
         queue = self.pending.setdefault(spec.home, [])
@@ -300,6 +350,31 @@ class ClusterRetryRouter:
             self.epochs[p] = epoch
 
     # -- internals -----------------------------------------------------------
+    def _preclassify(self, tag: Any, spec) -> None:
+        """Join the spec's procedure footprint with the current
+        ownership map; reject statically cross-node work up front."""
+        if self.footprints is None:
+            return
+        summary = self.footprints.summary(spec.proc_id)
+        if summary is None:
+            return
+        owners = {p: owner for p, (owner, _epoch)
+                  in self.cluster.ownership_map().items()}
+        route = summary.classify(spec.home,
+                                 node_of=lambda p: owners.get(p, -1))
+        self.static_routes[tag] = route.verdict
+        self.static_counts[route.verdict] = \
+            self.static_counts.get(route.verdict, 0) + 1
+        if route.verdict == "cross-node":
+            self.planned_rejects += 1
+            raise FrontendError(
+                "procedure footprint pins partitions owned by a "
+                "different node than its home; the submit could only "
+                "bounce — re-home the stream or split the transaction",
+                tag=tag, home=spec.home,
+                partitions=sorted(route.partitions),
+                nodes=sorted(route.nodes))
+
     def _collect(self) -> None:
         """Pull migration releases and deferred work back from the
         cluster router."""

@@ -112,6 +112,10 @@ class FrontendReport:
     #: requests parked on a retryable cluster error / replayed after
     parked: int = 0
     replayed: int = 0
+    #: requests moved to their home node by static footprint planning
+    #: *before* submit (the bounce the rehome path re-plans from never
+    #: happened)
+    planned: int = 0
 
     # -- totals -------------------------------------------------------------
     def _sum(self, attr: str) -> int:
@@ -209,11 +213,12 @@ class FrontendReport:
             f"   admission shed {self.admission_shed}   "
             f"dispatched {self.dispatched}")
         if self.breaker_transitions or self.retry_budget or self.rehomed \
-                or self.parked or self.brownout_shed:
+                or self.parked or self.brownout_shed or self.planned:
             lines.append(
                 f"  breakers {self.breaker_transitions}  "
                 f"retry-budget {self.retry_budget}  "
                 f"brownout-shed {self.brownout_shed}  "
+                f"planned {self.planned}  "
                 f"rehomed {self.rehomed}  parked {self.parked}  "
                 f"replayed {self.replayed}")
             for cls, row in self.by_class().items():

@@ -69,6 +69,13 @@ warnings
       mis-homed everywhere else.
     * ``partition-untracked-key`` — a key with no input-cell anchor at
       all; the partitions it can reach cannot be bounded statically.
+    * ``range-hi-untracked`` — a ``RANGE_SCAN`` upper bound with no
+      constant and no input-cell anchor: the scanned key interval (and
+      so the static conflict footprint) cannot be bounded.
+    * ``range-partition-blind`` — a ``RANGE_SCAN`` on a partitioned
+      table whose schema does not declare ``range_partitioned``: the
+      scan walks only the partition owning its *low* key, so matching
+      keys hashed to other partitions are silently missed.
 
 Instruction-anchored findings carry the offending instruction's
 disassembled text in :attr:`Finding.detail`.
@@ -304,5 +311,32 @@ def verify_program(program: Program, n_registers: int = 256,
                           f"anchor; reachable partitions cannot be "
                           f"bounded statically",
                           d.node.section, d.node.index, insts))
+
+        # ---- range footprints (the widened footprint pass) -------------
+        from ..analysis.footprint import analyze_footprint
+        footprint = analyze_footprint(program, schemas=schemas,
+                                      n_workers=n_workers, graph=graph)
+        for a in footprint.accesses:
+            if a.opcode is not Opcode.RANGE_SCAN:
+                continue
+            insts = program.section(a.node.section)
+            if a.hi is not None and a.hi.kind == "opaque":
+                add(_anchored("warning", "range-hi-untracked",
+                              "RANGE_SCAN upper bound has no constant or "
+                              "input-cell anchor; the scanned key "
+                              "interval cannot be bounded statically",
+                              a.node.section, a.node.index, insts))
+            try:
+                schema = schemas.table(a.table)
+            except Exception:
+                continue            # unknown-table already reported
+            if not schema.replicated and not schema.range_partitioned:
+                add(_anchored("warning", "range-partition-blind",
+                              f"RANGE_SCAN walks only the partition "
+                              f"owning its low key, but table "
+                              f"{schema.name!r} is not range-partitioned "
+                              f"— matching keys homed elsewhere are "
+                              f"silently missed",
+                              a.node.section, a.node.index, insts))
 
     return report

@@ -124,7 +124,8 @@ class _MinKey:
         return isinstance(other, _MinKey)
 
     def __hash__(self) -> int:
-        return hash("_MinKey")
+        # intra-process identity only — never reaches durable state
+        return hash("_MinKey")  # det: allow(hash-randomisation)
 
     def __repr__(self) -> str:
         return "-inf"

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
+from zlib import crc32
 
 from ..errors import BionicError
 
@@ -30,8 +31,16 @@ class IndexKind:
 
 
 def _default_partition(key: Any, n_partitions: int) -> int:
-    """Default routing: stable hash of the key."""
-    return hash(key) % n_partitions
+    """Default routing: a *process-stable* hash of the key.
+
+    Integer keys route as ``key % n`` (what ``hash`` already did —
+    small-int hashes are their value); everything else goes through
+    CRC32 of the repr, because the builtin ``hash`` is salted per
+    process for str/bytes and would re-shuffle partitions across runs.
+    """
+    if isinstance(key, int) and not isinstance(key, bool):
+        return key % n_partitions
+    return crc32(repr(key).encode("utf-8")) % n_partitions
 
 
 @dataclass
@@ -44,6 +53,12 @@ class TableSchema:
     replicated: bool = False
     #: maps (key, n_partitions) -> partition id; ignored when replicated.
     partition_fn: Callable[[Any, int], int] = _default_partition
+    #: declares partition_fn monotone in the key (contiguous key ranges
+    #: land on one partition run).  A RANGE_SCAN only walks the *local*
+    #: index of the partition owning its low key, so on a table without
+    #: this property it silently misses matching keys homed elsewhere —
+    #: the verifier warns about that combination.
+    range_partitioned: bool = False
 
     def __post_init__(self):
         if self.index_kind not in (IndexKind.HASH, IndexKind.SKIPLIST,

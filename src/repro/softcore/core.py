@@ -73,6 +73,13 @@ class SoftcoreConfig:
     #: the fields a procedure touches, so consecutive LOAD/WRFIELD to
     #: the same record cost one DRAM read (ablation knob)
     line_buffer: bool = True
+    #: optional static conflict hints for §4.5 batch forming
+    #: (:class:`repro.analysis.conflict.BatchConflictHints` or anything
+    #: exposing ``blocks(proc_id_a, proc_id_b) -> bool``): a transaction
+    #: whose procedure must-serialize against one already in the batch
+    #: closes the batch instead of joining it.  None (the default)
+    #: keeps grouping decisions — and timing — exactly as before.
+    conflict_hints: Optional[Any] = None
 
 
 class Softcore:
@@ -190,7 +197,10 @@ class Softcore:
         over_cap = (gp_base + entry.gp_needed > cfg.n_registers or
                     cp_base + entry.cp_needed > cfg.n_registers)
         over_batch = (cfg.max_batch is not None and len(batch) >= cfg.max_batch)
-        if batch and (over_cap or over_batch):
+        over_conflict = (cfg.conflict_hints is not None and any(
+            cfg.conflict_hints.blocks(ctx.block.proc_id, block.proc_id)
+            for ctx in batch))
+        if batch and (over_cap or over_batch or over_conflict):
             self._pending_block = block
             return None
         ctx = TxnContext(block=block, entry=entry,

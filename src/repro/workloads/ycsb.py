@@ -108,7 +108,8 @@ class YcsbWorkload:
         return TableSchema(YCSB_TABLE, "usertable",
                            index_kind=cfg.index_kind,
                            n_fields=1, hash_buckets=buckets,
-                           partition_fn=partition_fn)
+                           partition_fn=partition_fn,
+                           range_partitioned=True)
 
     # -- stored procedures -----------------------------------------------------
     @staticmethod

@@ -2,6 +2,9 @@
 its client, the partition-ownership analysis, and the determinism lint.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.analysis import (
@@ -10,12 +13,23 @@ from repro.analysis import (
     pending_cps, program_flow, reaching_definitions, static_mlp,
     uncollected_cps,
 )
-from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.conflict import (
+    COMMUTE, MAY_CONFLICT, MUST_SERIALIZE, BatchConflictHints,
+    build_conflict_matrix,
+)
+from repro.analysis.dataflow import cp_defs
+from repro.analysis.footprint import (
+    CLASS_HOME, CLASS_MIXED, CLASS_PINNED, CLASS_UNBOUNDED,
+    ROUTE_CROSS_NODE, ROUTE_SINGLE_NODE, ROUTE_SINGLE_PARTITION,
+    ROUTE_UNBOUNDED, FootprintIndex, analyze_footprint,
+)
+from repro.analysis.lint import findings_json, lint_paths, lint_source
 from repro.analysis.registry import ResolveError, all_procedures, resolve
-from repro.analysis.report import render_report
+from repro.analysis.report import render_report, report_json
+from repro.analysis.wcet import WcetModel, analyze_wcet
 from repro.isa import (
-    Gp, Instruction, Opcode, ProcedureBuilder, Program, Section, assemble_one,
-    disassemble, disassemble_instruction, verify_program,
+    Gp, Imm, Instruction, Opcode, ProcedureBuilder, Program, Section,
+    assemble_one, disassemble, disassemble_instruction, verify_program,
 )
 from repro.mem.schema import Catalog, IndexKind, TableSchema
 
@@ -670,3 +684,536 @@ class TestLint:
     def test_whole_tree_is_clean(self):
         findings = lint_paths(["src/repro"])
         assert not findings, [str(f) for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# the new determinism rules (satellite)
+# ---------------------------------------------------------------------------
+
+class TestLintNewRules:
+    def test_arbitrary_pop_on_a_set_binding(self):
+        src = ("def f(xs):\n"
+               "    s = set(xs)\n"
+               "    return s.pop()\n")
+        assert [f.rule for f in lint_source(src)] == ["arbitrary-pop"]
+
+    def test_list_pop_is_not_flagged(self):
+        src = ("def f(xs):\n"
+               "    return xs.pop()\n")        # xs is not a set binding
+        assert not lint_source(src)
+        # pop with an index is list.pop(i): positional, deterministic
+        assert not lint_source("def f(xs):\n    return xs.pop(0)\n")
+
+    def test_popitem_is_flagged(self):
+        src = ("def f(d):\n"
+               "    return d.popitem()\n")
+        assert [f.rule for f in lint_source(src)] == ["arbitrary-pop"]
+
+    def test_hash_randomisation(self):
+        assert [f.rule for f in lint_source("h = hash('x') % 8\n")] == \
+            ["hash-randomisation"]
+        assert not lint_source(
+            "h = hash('x') % 8  # det: allow(hash-randomisation)\n")
+
+    def test_fs_order_listdir(self):
+        src = ("import os\n"
+               "def f(p):\n"
+               "    for name in os.listdir(p):\n"
+               "        print(name)\n")
+        assert [f.rule for f in lint_source(src)] == ["fs-order"]
+        assert not lint_source(
+            "import os\n"
+            "def f(p):\n"
+            "    for name in sorted(os.listdir(p)):\n"
+            "        print(name)\n")
+
+    def test_fs_order_pathlib_glob(self):
+        src = ("def f(root):\n"
+               "    return [p.name for p in root.glob('*.py')]\n")
+        assert [f.rule for f in lint_source(src)] == ["fs-order"]
+        assert not lint_source(
+            "def f(root):\n"
+            "    return [p.name for p in sorted(root.rglob('*.py'))]\n")
+
+
+# ---------------------------------------------------------------------------
+# footprint summaries (tentpole)
+# ---------------------------------------------------------------------------
+
+def footprint_of(build, name="p", cat=None, n_workers=4):
+    """Analyze a tiny procedure: ``build(b)`` adds the logic dispatches."""
+    b = ProcedureBuilder(name)
+    build(b)
+    b.commit_handler()
+    b.ret(0, 0)
+    b.commit()
+    return analyze_footprint(finalized(b),
+                             schemas=cat if cat is not None else catalog(),
+                             n_workers=n_workers)
+
+
+def const_writer(key, table=0):
+    """Logic that UPDATEs a compile-time-constant key (int keys in the
+    builder are block offsets, so constants go through a register)."""
+    def build(b):
+        b.mov(0, key)
+        b.update(cp=0, table=table, key=Gp(0))
+    return build
+
+
+def const_reader(key, table=0):
+    def build(b):
+        b.mov(0, key)
+        b.search(cp=0, table=table, key=Gp(0))
+    return build
+
+
+def const_range_reader(lo, hi):
+    def build(b):
+        b.mov(0, lo)
+        b.range_scan(cp=0, table=0, lo=Gp(0), hi=Imm(hi), count=8,
+                     out=b.at(0))
+    return build
+
+
+class TestFootprint:
+    def test_constant_key_pins_its_partition(self):
+        fp = footprint_of(const_writer(7))
+        (a,) = fp.accesses
+        assert a.kind == "pinned" and a.mode == "write"
+        assert a.key.const == 7 and a.partition == 7 % 4
+        assert fp.kind_class == CLASS_PINNED
+        assert fp.pinned_partitions == {3}
+
+    def test_anchored_key_is_home(self):
+        fp = footprint_of(lambda b: b.search(cp=0, table=0, key=b.at(0)))
+        (a,) = fp.accesses
+        assert a.kind == "home" and a.mode == "read"
+        assert a.key.cells == {0}
+        assert fp.kind_class == CLASS_HOME
+        assert fp.anchor_cells == {0}
+        route = fp.classify(2)
+        assert route.verdict == ROUTE_SINGLE_PARTITION
+        assert route.partitions == {2}
+
+    def test_opaque_key_is_unbounded(self):
+        # Gp(3) is never written: its entry value is runtime-only data
+        fp = footprint_of(lambda b: b.search(cp=0, table=0, key=Gp(3)))
+        (a,) = fp.accesses
+        assert a.kind == "opaque"
+        assert fp.kind_class == CLASS_UNBOUNDED
+        route = fp.classify(0)
+        assert route.verdict == ROUTE_UNBOUNDED
+        assert not route.statically_routable and not route.single_node
+
+    def test_mixed_class_and_node_map_join(self):
+        def build(b):
+            b.search(cp=0, table=0, key=b.at(0))    # anchored
+            b.mov(0, 7)
+            b.update(cp=1, table=0, key=Gp(0))      # pinned to 3
+
+        fp = footprint_of(build)
+        assert fp.kind_class == CLASS_MIXED
+        # home == the pinned partition: collapses to one partition
+        assert fp.classify(3).verdict == ROUTE_SINGLE_PARTITION
+        # two partitions on one node
+        route = fp.classify(0, node_of=lambda p: 0)
+        assert route.verdict == ROUTE_SINGLE_NODE
+        assert route.partitions == {0, 3} and route.nodes == {0}
+        assert route.single_node
+        # two partitions on two nodes
+        route = fp.classify(0, node_of=lambda p: p % 2)
+        assert route.verdict == ROUTE_CROSS_NODE
+        assert route.nodes == {0, 1} and not route.single_node
+
+    def test_pinned_without_worker_count_cannot_bound_the_route(self):
+        fp = footprint_of(const_writer(7), n_workers=None)
+        assert fp.kind_class == CLASS_PINNED        # class is layout-free
+        (a,) = fp.accesses
+        assert a.partition is None
+        assert fp.classify(0).verdict == ROUTE_UNBOUNDED
+
+    def test_range_scan_carries_its_interval(self):
+        fp = footprint_of(lambda b: b.range_scan(
+            cp=0, table=0, lo=b.at(0), hi=b.at(1), count=4, out=b.at(2)))
+        (a,) = fp.accesses
+        assert a.is_range and a.mode == "read"
+        assert a.kind == "home"                     # routed by lo
+        assert a.key.cells == {0} and a.hi.cells == {1}
+        assert a.count == 4
+
+    def test_constant_range_pins_by_lo(self):
+        def build(b):
+            b.mov(0, 2)
+            b.range_scan(cp=0, table=0, lo=Gp(0), hi=Imm(9), count=4,
+                         out=b.at(0))
+
+        fp = footprint_of(build)
+        (a,) = fp.accesses
+        assert a.kind == "pinned" and a.partition == 2 % 4
+        assert a.key.const == 2 and a.hi.const == 9
+
+    def test_replicated_table_is_local(self):
+        fp = footprint_of(lambda b: b.search(cp=0, table=0, key=b.at(0)),
+                          cat=catalog(replicated=True))
+        (a,) = fp.accesses
+        assert a.kind == "local"
+        assert fp.kind_class == CLASS_HOME
+
+    def test_footprint_index_caches_per_proc_id(self):
+        from repro.core import BionicConfig, BionicDB
+        db = BionicDB(BionicConfig(n_workers=2))
+        db.define_table(TableSchema(0, "kv", hash_buckets=64))
+        b = ProcedureBuilder("get")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.store(Gp(0), b.at(1))
+        b.commit()
+        db.register_procedure(1, b.build())
+        index = FootprintIndex(db.catalogue, db.schemas, 2)
+        summary = index.summary(1)
+        assert summary is not None and summary.kind_class == CLASS_HOME
+        assert index.summary(1) is summary          # cached
+        assert index.summary(99) is None            # unknown proc id
+        assert index.classify(1, home=1).verdict == ROUTE_SINGLE_PARTITION
+        assert index.classify(99, home=1) is None
+
+    def test_to_json_is_serialisable(self):
+        fp = footprint_of(lambda b: b.range_scan(
+            cp=0, table=0, lo=b.at(0), hi=b.at(1), count=4, out=b.at(2)))
+        doc = json.loads(json.dumps(fp.to_json()))
+        assert doc["class"] == CLASS_HOME
+        assert doc["accesses"][0]["hi"]["cells"] == [1]
+
+
+# ---------------------------------------------------------------------------
+# pairwise conflict matrix (tentpole)
+# ---------------------------------------------------------------------------
+
+class TestConflict:
+    def _matrix(self, build_a, build_b, cat=None):
+        sa = footprint_of(build_a, name="a", cat=cat)
+        sb = footprint_of(build_b, name="b", cat=cat)
+        return build_conflict_matrix([("a", sa), ("b", sb)])
+
+    def test_equal_constant_writers_must_serialize(self):
+        m = self._matrix(const_writer(7), const_writer(7))
+        assert m.verdict("a", "b") == MUST_SERIALIZE
+        assert m.verdict("a", "a") == MUST_SERIALIZE   # self-pair
+        assert m.pairs(MUST_SERIALIZE) == [("a", "a"), ("a", "b"),
+                                           ("b", "b")]
+
+    def test_disjoint_constants_commute(self):
+        m = self._matrix(const_writer(3), const_writer(9))
+        assert m.verdict("a", "b") == COMMUTE
+
+    def test_read_read_commutes_even_on_the_same_key(self):
+        m = self._matrix(const_reader(7), const_reader(7))
+        assert m.verdict("a", "b") == COMMUTE
+
+    def test_anchored_write_may_conflict(self):
+        m = self._matrix(lambda b: b.update(cp=0, table=0, key=b.at(0)),
+                         lambda b: b.search(cp=0, table=0, key=b.at(0)))
+        assert m.verdict("a", "b") == MAY_CONFLICT
+
+    def test_constant_range_decides_exactly(self):
+        m = self._matrix(const_range_reader(2, 9), const_writer(5))
+        assert m.verdict("a", "b") == MUST_SERIALIZE   # 5 in [2, 9]
+        m = self._matrix(const_range_reader(2, 9), const_writer(11))
+        assert m.verdict("a", "b") == COMMUTE          # 11 outside [2, 9]
+
+    def test_replicated_write_broadcasts(self):
+        m = self._matrix(const_writer(1), const_reader(2),
+                         cat=catalog(replicated=True))
+        assert m.verdict("a", "b") == MUST_SERIALIZE
+
+    def test_different_tables_commute(self):
+        cat = Catalog([
+            TableSchema(0, "t0", index_kind=IndexKind.HASH, hash_buckets=64,
+                        partition_fn=lambda k, n: k % n),
+            TableSchema(1, "t1", index_kind=IndexKind.HASH, hash_buckets=64,
+                        partition_fn=lambda k, n: k % n),
+        ])
+        m = self._matrix(const_writer(7, table=0), const_writer(7, table=1),
+                         cat=cat)
+        assert m.verdict("a", "b") == COMMUTE
+
+    def test_batch_hints_block_must_serialize_pairs(self):
+        m = self._matrix(const_writer(7), const_reader(9))
+        hints = BatchConflictHints(m, {1: "a", 2: "b", 3: "ghost"})
+        assert hints.blocks(1, 1)                   # a self-serializes
+        assert not hints.blocks(1, 2) and not hints.blocks(2, 1)
+        assert not hints.blocks(1, 3)               # ghost: no verdict
+
+    def test_matrix_json_round_trips(self):
+        m = self._matrix(const_writer(7), const_writer(7))
+        doc = json.loads(json.dumps(m.to_json()))
+        assert doc["verdicts"]["a|b"] == MUST_SERIALIZE
+        assert "MUST" in m.format()
+
+
+# ---------------------------------------------------------------------------
+# worst-case cycle bound (tentpole)
+# ---------------------------------------------------------------------------
+
+class TestWcet:
+    def test_straight_line_bound_is_exact(self):
+        b = ProcedureBuilder("straight")
+        b.search(cp=0, table=0, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.store(Gp(0), b.at(1))
+        b.commit()
+        r = analyze_wcet(finalized(b))
+        m = WcetModel()
+        path = (m.db_prepare_cycles + m.db_dispatch_cycles    # SEARCH
+                + m.ret_cycles + m.ret_wait_cycles            # RET
+                + m.cpu_inst_cycles                           # STORE
+                + 0.0)                                        # COMMIT, 0 writes
+        assert r.cycles == path
+        assert r.overhead_cycles == \
+            m.catalogue_cycles + 2 * m.context_switch_cycles
+        assert r.total_cycles == path + r.overhead_cycles
+        # 4 authored instructions + the implicit ABORT handler
+        assert not r.has_loops and r.n_writes == 0 and r.n_insts == 5
+        assert r.ns == r.total_cycles * 8.0           # 125 MHz
+
+    def test_writes_charge_the_commit_protocol(self):
+        b = ProcedureBuilder("writer")
+        b.update(cp=0, table=0, key=b.at(0))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        r = analyze_wcet(finalized(b))
+        m = WcetModel()
+        assert r.n_writes == 1
+        commit_cost = m.commit_cycles_per_entry * 1 + m.dram_latency_cycles
+        assert r.cycles == (m.db_prepare_cycles + m.db_dispatch_cycles
+                            + m.ret_cycles + m.ret_wait_cycles + commit_cost)
+
+    def test_loops_are_charged_loop_bound_iterations(self):
+        b = ProcedureBuilder("looped")
+        b.mov(0, 0)
+        b.label("head")
+        b.cmp(Gp(0), 3)
+        b.bge("done")
+        b.add(0, Gp(0), 1)
+        b.jmp("head")
+        b.label("done")
+        b.commit_handler()
+        b.commit()
+        p = finalized(b)
+        r16 = analyze_wcet(p, loop_bound=16)
+        r32 = analyze_wcet(p, loop_bound=32)
+        assert r16.has_loops and r32.has_loops
+        # the SCC body is CMP+BGE+ADD+JMP = 4 insts at 5 cycles
+        assert r32.cycles - r16.cycles == 16 * 4 * 5.0
+
+    def test_model_derives_from_dram_latency(self):
+        m = WcetModel.from_config(None, dram_latency_cycles=100.0)
+        assert m.ret_wait_cycles == 300.0
+        assert m.dram_latency_cycles == 100.0
+
+
+# ---------------------------------------------------------------------------
+# CFG / dataflow edge cases (satellite)
+# ---------------------------------------------------------------------------
+
+class TestCfgEdgeCases:
+    def test_branch_to_self_is_a_one_block_loop(self):
+        b = ProcedureBuilder("spin")
+        b.label("spin")
+        b.jmp("spin")
+        b.commit_handler()
+        b.commit()
+        p = finalized(b)
+        cfg = build_cfg(p, Section.LOGIC)
+        (blk,) = cfg.blocks
+        assert blk.succs == [blk.bid]
+        r = analyze_wcet(p, loop_bound=8)
+        assert r.has_loops and r.loop_bound == 8
+
+    def test_code_after_abort_is_unreachable(self):
+        b = ProcedureBuilder("dead_tail")
+        b.abort()
+        b.nop()                       # never runs: ABORT ends the flow
+        b.commit_handler()
+        b.commit()
+        b.abort_handler()
+        b.abort()
+        p = finalized(b)
+        cfg = build_cfg(p, Section.LOGIC)
+        assert len(cfg.blocks) == 2
+        assert cfg.blocks[0].succs == []
+        assert cfg.blocks[1].bid not in cfg.reachable()
+
+    def test_range_scan_is_cp_producing(self):
+        b = ProcedureBuilder("ranged")
+        b.range_scan(cp=2, table=0, lo=b.at(0), hi=b.at(1), count=4,
+                     out=b.at(2))
+        b.commit_handler()
+        b.ret(0, 2)                   # collects the scan's cp
+        b.commit()
+        p = finalized(b)
+        assert cp_defs(p.logic[0]) == frozenset({2})
+        report = verify_program(p, schemas=catalog())
+        # the RET sees a written, pending cp: no protocol errors
+        assert "ret-unwritten-cp" not in codes(report)
+        assert "uncollected-cp" not in codes(report)
+        # ... and dropping the RET leaks the cp
+        b2 = ProcedureBuilder("leaky")
+        b2.range_scan(cp=2, table=0, lo=b2.at(0), hi=b2.at(1), count=4,
+                      out=b2.at(2))
+        b2.commit_handler()
+        b2.commit()
+        assert "uncollected-cp" in codes(verify_program(b2.build()))
+
+    def test_empty_logic_program_enters_at_the_handlers(self):
+        b = ProcedureBuilder("handlers_only")
+        b.commit_handler()
+        b.commit()
+        p = finalized(b)
+        g = program_flow(p)
+        # no logic: entries fall back to the handler entries (the
+        # implicit ABORT handler makes the second node)
+        assert len(g) == 2 and g.entries
+        fp = analyze_footprint(p)
+        assert fp.accesses == [] and fp.kind_class == CLASS_HOME
+        r = analyze_wcet(p)
+        assert r.cycles == 0.0 and r.total_cycles == r.overhead_cycles
+
+    def test_empty_section_program(self):
+        # finalize() fills empty handler sections with bare COMMIT/ABORT
+        p = Program("void")
+        p.finalize()
+        g = program_flow(p)
+        assert len(g) == 2 and g.entries
+        assert analyze_footprint(p).accesses == []
+        r = analyze_wcet(p)
+        assert r.n_insts == 2 and r.total_cycles == r.overhead_cycles
+
+    def test_range_scan_verifier_warnings(self):
+        # symbolic hi from an unwritten register: the scanned interval
+        # cannot be bounded statically
+        b = ProcedureBuilder("blind")
+        b.range_scan(cp=0, table=0, lo=b.at(0), hi=Gp(5), count=4,
+                     out=b.at(1))
+        b.commit_handler()
+        b.ret(0, 0)
+        b.commit()
+        found = codes(verify_program(b.build(), schemas=catalog()))
+        assert "range-hi-untracked" in found
+        # hash-partitioned table: the scan walks only lo's partition
+        assert "range-partition-blind" in found
+        # a range-partitioned table keeps the whole interval local
+        ranged_cat = Catalog([TableSchema(
+            0, "t", index_kind=IndexKind.HASH, hash_buckets=64,
+            partition_fn=lambda k, n: min(k // 16, n - 1),
+            range_partitioned=True)])
+        b2 = ProcedureBuilder("sighted")
+        b2.range_scan(cp=0, table=0, lo=b2.at(0), hi=b2.at(1), count=4,
+                      out=b2.at(2))
+        b2.commit_handler()
+        b2.ret(0, 0)
+        b2.commit()
+        found = codes(verify_program(b2.build(), schemas=ranged_cat))
+        assert "range-partition-blind" not in found
+        assert "range-hi-untracked" not in found
+
+
+# ---------------------------------------------------------------------------
+# the registry-wide footprint sweep (rides the CI lint job's -k filter)
+# ---------------------------------------------------------------------------
+
+class TestFootprintSweep:
+    def test_every_registry_procedure_is_summarised(self):
+        summaries = []
+        for name, program, cat in all_procedures():
+            fp = analyze_footprint(program, schemas=cat, n_workers=4)
+            wcet = analyze_wcet(program)
+            assert fp.kind_class == CLASS_HOME, (name, fp.format())
+            assert fp.accesses, name
+            assert wcet.total_cycles > 0 and wcet.static_mlp >= 1, name
+            summaries.append((name, fp))
+        matrix = build_conflict_matrix(summaries)
+        for name, _ in summaries:
+            row = matrix.row(name)
+            assert len(row) == len(summaries)
+        # no shipped pair must-serialize: the batch former never has to
+        # split a batch for the stock workloads
+        assert matrix.pairs(MUST_SERIALIZE) == []
+
+    def test_classes_match_the_checked_in_gate_baseline(self):
+        baseline_path = Path(__file__).resolve().parents[1] \
+            / "ANALYSIS_gate.json"
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        classes = {name: analyze_footprint(p, schemas=c,
+                                           n_workers=4).kind_class
+                   for name, p, c in all_procedures()}
+        assert classes == baseline["classes"]
+
+
+# ---------------------------------------------------------------------------
+# JSON documents: report --json, lint --json, gate (satellite)
+# ---------------------------------------------------------------------------
+
+class TestReportJson:
+    def test_report_json_document(self):
+        program, cat = resolve("tpcc_payment")
+        doc = report_json(program, schemas=cat, n_workers=4)
+        assert doc["program"] == "tpcc_payment"
+        assert doc["footprint"]["class"] == CLASS_HOME
+        assert doc["wcet"]["wcet_cycles"] > 0
+        assert doc["self_conflict"] in (COMMUTE, MAY_CONFLICT,
+                                        MUST_SERIALIZE)
+        assert doc["commit_protocol_proven"] is True
+        assert doc["verifier"] == []
+        json.dumps(doc)                            # fully serialisable
+
+    def test_cli_report_json(self, capsys):
+        from repro.analysis.__main__ import main
+        assert main(["report", "ycsb_read_2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["program"] == "ycsb_read_2"
+        assert doc["footprint"]["class"] == CLASS_HOME
+
+    def test_lint_findings_json(self):
+        findings = lint_source("import time\nt = time.time()\n", "m.py")
+        doc = findings_json(findings)
+        assert doc["tool"] == "repro.analysis.lint"
+        f = doc["findings"][0]
+        assert f["rule"] == "wall-clock" and f["severity"] == "error"
+        assert f["path"] == "m.py" and f["line"] == 2
+        json.dumps(doc)
+
+    def test_gate_runs_clean_against_the_baseline(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+        baseline = Path(__file__).resolve().parents[1] / "ANALYSIS_gate.json"
+        out = tmp_path / "analysis-report.json"
+        assert main(["gate", "--baseline", str(baseline),
+                     "--json", str(out)]) == 0
+        assert "procedures clean" in capsys.readouterr().out
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert set(doc) == {"procedures", "conflicts"}
+        assert len(doc["procedures"]) == len(all_procedures())
+
+    def test_gate_fails_on_class_regression(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+        # a fabricated baseline that claims every procedure used to be
+        # unbounded is fine (improvement), but the reverse must fail
+        strict = {"classes": {name: "home-anchored"
+                              for name, _, _ in all_procedures()},
+                  "must_serialize": {}}
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(strict), encoding="utf-8")
+        assert main(["gate", "--baseline", str(ok)]) == 0
+        capsys.readouterr()
+        name = all_procedures()[0][0]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"classes": {name: "home-anchored"},
+             "must_serialize": {"ghost_a|ghost_b": "must-serialize"}}),
+            encoding="utf-8")
+        assert main(["gate", "--baseline", str(bad)]) == 1
+        assert "left the registry" in capsys.readouterr().out
