@@ -67,6 +67,28 @@ def _key_bytes(key: Any) -> bytes:
 _hash_cache: dict = {}
 _HASH_CACHE_CAP = 1 << 16
 
+#: Sdbm is ``h_i = byte_i + 65599 * h_{i-1}`` (the shifts-and-adds form
+#: expands to exactly that multiply), so an 8-byte little-endian key
+#: hashes to ``sum(byte_i * 65599^(7-i))`` — precomputing the powers
+#: turns the byte-serial loop into one closed-form expression for every
+#: int key below 2^63 (keys whose wire form is exactly 8 bytes).
+_P7, _P6, _P5, _P4, _P3, _P2, _P1 = (
+    15547521674245157311, 6702187518565740161, 11182486425443262783,
+    71034040046345985, 282287506116799, 4303228801, 65599)
+_INT8_MAX = 1 << 63
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _sdbm_int8(key: int) -> int:
+    """Closed-form Sdbm for 0 <= key < 2**63 (8-byte wire encoding)."""
+    h = ((key & 0xFF) * _P7 + (key >> 8 & 0xFF) * _P6
+         + (key >> 16 & 0xFF) * _P5 + (key >> 24 & 0xFF) * _P4
+         + (key >> 32 & 0xFF) * _P3 + (key >> 40 & 0xFF) * _P2
+         + (key >> 48 & 0xFF) * _P1 + (key >> 56 & 0xFF)) & _MASK64
+    h ^= h >> 33
+    h ^= h >> 17
+    return h
+
 
 def sdbm_hash(key: Any) -> int:
     """The Sdbm hash (chosen by the paper for its minimal hardware cost:
@@ -75,6 +97,10 @@ def sdbm_hash(key: Any) -> int:
     mask/mod without the low-bit clustering raw Sdbm exhibits on short
     binary keys.
     """
+    if type(key) is int and 0 <= key < _INT8_MAX:
+        # the common case (integer row keys): no wire serialisation, no
+        # byte loop, no memo churn
+        return _sdbm_int8(key)
     cacheable = type(key) is int or type(key) is str
     if cacheable:
         h = _hash_cache.get(key)
@@ -187,11 +213,17 @@ class PipelineBase:
         self.completed = self.stats.counter(f"{name}.completed")
         self.errors = self.stats.counter(f"{name}.errors")
         self._build()
-        self._admit_proc = engine.process(self._admit_loop(), name=f"{name}.admit")
+        self._start_admission()
 
     # -- subclass hooks -------------------------------------------------
     def _build(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def _start_admission(self) -> None:
+        """Spawn the admission process.  The compiled hash pipeline
+        overrides this with a callback state machine (no process)."""
+        self._admit_proc = self.engine.process(self._admit_loop(),
+                                               name=f"{self.name}.admit")
 
     def _enter(self, req: DbRequest) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -200,6 +232,19 @@ class PipelineBase:
     def submit(self, req: DbRequest) -> None:
         """Queue a request; the softcore never blocks on dispatch."""
         self.entry.put(req)
+
+    def bulk_load_many(self, rows, ts: int = 0, table_id: int = 0) -> int:
+        """Bulk-load ``(key, fields)`` pairs (timing-free host path).
+
+        The generic form just loops ``bulk_load``; index pipelines with
+        a hot loader override it.  Rows are installed in iteration
+        order — heap addresses (and therefore DRAM channel assignment)
+        are identical to per-row loading."""
+        n = 0
+        for key, fields in rows:
+            self.bulk_load(key, fields, ts=ts, table_id=table_id)
+            n += 1
+        return n
 
     def set_max_in_flight(self, n: int) -> None:
         self.tokens.resize(n)

@@ -1,0 +1,441 @@
+"""Compiled (callback state-machine) hash index pipeline.
+
+This is the coprocessor half of the compiled simulator tier
+(:mod:`repro.softcore.compiled` is the softcore half).  It executes the
+exact stage graph of :class:`~repro.index.hash.pipeline.HashIndexPipeline`
+but replaces every generator process, inter-stage :class:`Fifo` and
+memory-completion :class:`Event` with plain bound-method callbacks and
+host-side deques.
+
+Equivalence contract
+--------------------
+Simulated timing must stay **bit-identical** to the interpreted
+pipeline: DRAM channel arbitration (`addr % channels` against a shared
+``_channel_free`` array) resolves same-instant requests in engine
+scheduling order, so every *meaningful* work item — stage wake-ups,
+delay expiries, memory completions, admission hops — must be created at
+the same simulated instant and in the same relative creation order as
+the interpreted pipeline creates it.  The mapping (derived hop-by-hop
+from ``Engine``/``Fifo``/``TokenPool`` internals):
+
+* ``Fifo.put`` to a parked stage → one ready item (the getter's
+  resumption).  The put-event's no-op firing is dropped.
+* ``Fifo.get`` with an item queued → one ready item (the pre-triggered
+  resume hop).  The get-event's empty-callback firing is dropped.
+* ``TokenPool.acquire`` with a token available → one ready item at the
+  position of the pre-triggered resume hop; the acquire-event's no-op
+  firing is dropped.  Token grants on release stay a single hop.
+* A memory completion schedules its callback at the exact ready-deque
+  slot ``Event.succeed`` → ``_dispatch`` would occupy
+  (``MemoryPort.read_cb`` / ``write_cb``).
+* Stage service delays use the same work-item heap entry the
+  numeric-delay fast path would push, from the same firing.
+
+Dropped no-op firings change ``events_fired`` (the perf harness
+compares ``now_ns``/commits/aborts/``commit_hash`` for the compiled
+tier, exactly as ISSUE'd) but cannot reorder the remaining items: a
+no-op consumes a sequence number and a loop iteration, nothing else.
+
+Hazard-lock waits are rare (contended inserts), so they keep the
+interpreted pipeline's Event-callback form; the continuation runs
+inside the lock-release firing, which is precisely where the
+interpreted generator resumes.
+
+The hot hops below inline ``Engine._schedule_fn`` (sequence-number
+bump + ready-deque append / heap push) — same items, same order, no
+method-call overhead.  Stage delays are always positive here, so the
+delay hop always lands on the heap, exactly as ``_schedule_fn`` would
+place it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappush as _heappush
+from typing import Any, List
+
+from ...isa.instructions import Opcode
+from ...mem.records import NULL_ADDR, TupleRecord
+from ...txn.cc import DbResult, ResultCode
+from ..common import DbRequest, IndexError_
+from .pipeline import HashIndexPipeline
+
+__all__ = ["CompiledHashPipeline"]
+
+_OK = ResultCode.OK
+_NOT_FOUND = ResultCode.NOT_FOUND
+
+
+class CompiledHashPipeline(HashIndexPipeline):
+    """Callback-driven twin of :class:`HashIndexPipeline`.
+
+    Selected by :class:`~repro.dora.worker.PartitionWorker` when the
+    softcore runs its compiled tier; cycle-for-cycle identical to the
+    interpreted pipeline (see module docstring for the argument).
+    """
+
+    # -- construction ----------------------------------------------------
+    def _build(self) -> None:
+        clock = self.clock
+        t = self.timings
+        self._eng = self.engine
+        self._sched = self.engine._schedule_fn
+        self._d_keyfetch = clock.ns(t.keyfetch)
+        self._d_hash = clock.ns(t.hash)
+        self._d_install = clock.ns(t.install)
+        self._d_headfetch = clock.ns(t.headfetch)
+        self._d_keycomp = clock.ns(t.keycomp)
+        self._d_traverse = clock.ns(t.traverse_hop)
+        # per-stage (busy flag, backlog) pairs replace the Fifos
+        self._kf_busy = False
+        self._kf_q: deque = deque()
+        self._hs_busy = False
+        self._hs_q: deque = deque()
+        self._in_busy = False
+        self._in_q: deque = deque()
+        self._hf_busy = False
+        self._hf_q: deque = deque()
+        self._kc_busy = False
+        self._kc_q: deque = deque()
+        n = self.n_traverse_stages
+        self._tr_busy: List[bool] = [False] * n
+        self._tr_q: List[deque] = [deque() for _ in range(n)]
+        from itertools import cycle
+        self._traverse_rr = cycle(range(n))
+
+    def _start_admission(self) -> None:
+        self._admit_proc = None
+        self._adm_idle = True
+        self._adm_parked = None
+        self._adm_q: deque = deque()
+
+    # -- admission -------------------------------------------------------
+    def submit(self, req: DbRequest) -> None:
+        entry = self.entry
+        entry.total_put += 1           # keep the Fifo's counters truthful
+        if self._adm_idle:
+            self._adm_idle = False
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._admit_recv, req))
+        else:
+            q = self._adm_q
+            q.append(req)
+            if len(q) > entry.max_depth:
+                entry.max_depth = len(q)
+
+    def _admit_recv(self, req: DbRequest) -> None:
+        tokens = self.tokens
+        if tokens.available > 0:
+            tokens.available -= 1
+            tokens.total_acquired += 1
+            # position of the interpreted pre-triggered acquire resume
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._admit_grant, req))
+        else:
+            self._adm_parked = req
+
+    def _admit_grant(self, req: DbRequest) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(self.trace_category, self.name,
+                             f"enter {req.op.value} txn={req.txn_id}"
+                             + (" (background)" if req.background else ""))
+        self._enter(req)
+        q = self._adm_q
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._admit_recv, q.popleft()))
+        else:
+            self._adm_idle = True
+
+    def _done(self, req: DbRequest, result: DbResult) -> None:
+        tokens = self.tokens
+        parked = self._adm_parked
+        if parked is not None:
+            # hand the token straight to the parked admission, exactly
+            # like TokenPool.release granting its waiter: one hop
+            self._adm_parked = None
+            tokens.total_acquired += 1
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._admit_grant, parked))
+        else:
+            tokens.release()
+        self.completed.add()
+        if not result.ok:
+            self.errors.add()
+        if self.tracer.enabled:
+            self.tracer.emit(self.trace_category, self.name,
+                             f"done {req.op.value} txn={req.txn_id} "
+                             f"key={req.key!r} -> {result.code.name}")
+        req.finish(result)
+
+    def set_max_in_flight(self, n: int) -> None:
+        self.tokens.resize(n)
+        tokens = self.tokens
+        if self._adm_parked is not None and tokens.available > 0:
+            tokens.available -= 1
+            tokens.total_acquired += 1
+            req, self._adm_parked = self._adm_parked, None
+            self._sched(self.engine.now, self._admit_grant, req)
+
+    def _enter(self, req: DbRequest) -> None:
+        if req.op in (Opcode.SCAN, Opcode.RANGE_SCAN):
+            raise IndexError_(f"{req.op.value} dispatched to a hash index")
+        if self._kf_busy:
+            self._kf_q.append(req)
+        else:
+            self._kf_busy = True
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._kf_recv, req))
+
+    # -- stage 1: KeyFetch -----------------------------------------------
+    def _kf_recv(self, req: DbRequest) -> None:
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap,
+                  (eng.now + self._d_keyfetch, seq, self._kf_body, req))
+
+    def _kf_body(self, req: DbRequest) -> None:
+        if req.op is Opcode.INSERT and req.payload_addr is not None:
+            req.key = req.key_value
+            self.read_port.read_cb(req.payload_addr, self._kf_payload_done, req)
+        elif req.key_value is not None or req.key_addr is None:
+            self._set_key(req, req.key_value)
+            self._hs_put(req)
+        else:
+            self.read_port.read_cb(req.key_addr, self._kf_key_done, req)
+        q = self._kf_q
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._kf_recv, q.popleft()))
+        else:
+            self._kf_busy = False
+
+    def _kf_key_done(self, arg: tuple) -> None:
+        req, value = arg
+        self._set_key(req, value)
+        self._hs_put(req)
+
+    def _kf_payload_done(self, arg: tuple) -> None:
+        req, value = arg
+        req.insert_payload = list(value or [])
+        self._hs_put(req)
+
+    # -- stage 2: Hash ---------------------------------------------------
+    def _hs_put(self, req: DbRequest) -> None:
+        if self._hs_busy:
+            self._hs_q.append(req)
+        else:
+            self._hs_busy = True
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._hs_recv, req))
+
+    def _hs_recv(self, req: DbRequest) -> None:
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap, (eng.now + self._d_hash, seq, self._hs_body, req))
+
+    def _hs_body(self, req: DbRequest) -> None:
+        bucket_addr = self.bucket_addr_of(req.key, req.table_id)
+        req._bucket_addr = bucket_addr
+        if self.hazard_prevention:
+            if req.op is Opcode.INSERT:
+                ev = self.locks.acquire_insert(bucket_addr)
+                if ev.triggered:
+                    # interpreted path: pre-triggered event, one-hop resume
+                    eng = self._eng
+                    seq = eng._seq = eng._seq + 1
+                    eng._ready.append((seq, self._hs_finish, req))
+                else:
+                    # contended: resume inside the lock-release firing
+                    ev.callbacks.append(
+                        lambda _ev, _s=self, _r=req: _s._hs_finish(_r))
+                return
+            if self.locks.locked(bucket_addr):
+                ev = self.locks.wait_clear(bucket_addr)
+                ev.callbacks.append(
+                    lambda _ev, _s=self, _r=req: _s._hs_finish(_r))
+                return
+        self._hs_finish(req)
+
+    def _hs_finish(self, req: DbRequest) -> None:
+        done = (self._bucket_to_install if req.op is Opcode.INSERT
+                else self._bucket_to_headfetch)
+        self.read_port.read_cb(req._bucket_addr, done, req)
+        q = self._hs_q
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._hs_recv, q.popleft()))
+        else:
+            self._hs_busy = False
+
+    def _bucket_to_install(self, arg: tuple) -> None:
+        self._in_put(arg)
+
+    def _bucket_to_headfetch(self, arg: tuple) -> None:
+        self._hf_put(arg)
+
+    # -- stage 3a: Install (INSERT path) ---------------------------------
+    def _in_put(self, item: tuple) -> None:
+        if self._in_busy:
+            self._in_q.append(item)
+        else:
+            self._in_busy = True
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._in_recv, item))
+
+    def _in_recv(self, item: tuple) -> None:
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap,
+                  (eng.now + self._d_install, seq, self._in_body, item))
+
+    def _in_body(self, item: tuple) -> None:
+        req, head_addr = item
+        addr = self._dram.heap.alloc()
+        record = TupleRecord(
+            key=req.key,
+            fields=list(req.insert_payload or []),
+            addr=addr,
+            next_addr=head_addr or NULL_ADDR,
+            read_ts=req.ts,
+            write_ts=req.ts,
+            dirty=True,
+        )
+        self.write_port.post_write(addr, record)
+        self.write_port.write_cb(req._bucket_addr, addr, self._in_done,
+                                 (req, addr))
+        self.tuple_count += 1
+        q = self._in_q
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._in_recv, q.popleft()))
+        else:
+            self._in_busy = False
+
+    def _in_done(self, arg: tuple) -> None:
+        (req, addr), _ = arg
+        # the lock may only clear once the new head pointer is visible
+        if self.hazard_prevention:
+            self.locks.release_insert(req._bucket_addr)
+        self._done(req, DbResult(_OK, tuple_addr=addr))
+
+    # -- stage 3b: HeadFetch ----------------------------------------------
+    def _hf_put(self, item: tuple) -> None:
+        if self._hf_busy:
+            self._hf_q.append(item)
+        else:
+            self._hf_busy = True
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._hf_recv, item))
+
+    def _hf_recv(self, item: tuple) -> None:
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap,
+                  (eng.now + self._d_headfetch, seq, self._hf_body, item))
+
+    def _hf_body(self, item: tuple) -> None:
+        req, head_addr = item
+        if not head_addr:
+            self._done(req, DbResult(_NOT_FOUND))
+        else:
+            self.read_port.read_cb(head_addr, self._hf_done, (req, head_addr))
+        q = self._hf_q
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._hf_recv, q.popleft()))
+        else:
+            self._hf_busy = False
+
+    def _hf_done(self, arg: tuple) -> None:
+        (req, addr), record = arg
+        self._kc_put((req, addr, record))
+
+    # -- stage 4: KeyComp -------------------------------------------------
+    def _kc_put(self, item: tuple) -> None:
+        if self._kc_busy:
+            self._kc_q.append(item)
+        else:
+            self._kc_busy = True
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._kc_recv, item))
+
+    def _kc_recv(self, item: tuple) -> None:
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap,
+                  (eng.now + self._d_keycomp, seq, self._kc_body, item))
+
+    def _kc_body(self, item: tuple) -> None:
+        req, addr, record = item
+        if record is not None and self._matches(req, record):
+            self._finish_match(req, addr, record)
+        else:
+            self._tr_put(next(self._traverse_rr), (req, record))
+        q = self._kc_q
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._kc_recv, q.popleft()))
+        else:
+            self._kc_busy = False
+
+    # -- stage 5: Traverse ------------------------------------------------
+    def _tr_put(self, i: int, item: tuple) -> None:
+        if self._tr_busy[i]:
+            self._tr_q[i].append(item)
+        else:
+            self._tr_busy[i] = True
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._tr_recv, (i,) + item))
+
+    def _tr_recv(self, arg: tuple) -> None:
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap,
+                  (eng.now + self._d_traverse, seq, self._tr_hop, arg))
+
+    def _tr_hop(self, arg: tuple) -> None:
+        i, req, record = arg
+        next_addr = record.next_addr if record is not None else NULL_ADDR
+        if not next_addr:
+            self._done(req, DbResult(_NOT_FOUND))
+            self._tr_next(i)
+            return
+        self.read_port.read_cb(next_addr, self._tr_read, (i, req, next_addr))
+
+    def _tr_read(self, arg: tuple) -> None:
+        (i, req, next_addr), record = arg
+        if record is not None and self._matches(req, record):
+            self._finish_match(req, next_addr, record)
+            self._tr_next(i)
+            return
+        # chain miss: next hop, scheduled inside this completion firing
+        eng = self._eng
+        seq = eng._seq = eng._seq + 1
+        _heappush(eng._heap,
+                  (eng.now + self._d_traverse, seq, self._tr_hop,
+                   (i, req, record)))
+
+    def _tr_next(self, i: int) -> None:
+        q = self._tr_q[i]
+        if q:
+            eng = self._eng
+            seq = eng._seq = eng._seq + 1
+            eng._ready.append((seq, self._tr_recv, (i,) + q.popleft()))
+        else:
+            self._tr_busy[i] = False

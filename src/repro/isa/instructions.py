@@ -299,6 +299,12 @@ class Program:
 
     # -- register footprint (used for transaction grouping, §4.5) -------
     def _registers(self) -> Tuple[set, set]:
+        # gp_needed/cp_needed are consulted on every admission; the
+        # instruction walk is memoised once the program is finalized
+        # (immutable from then on)
+        cached = getattr(self, "_reg_cache", None)
+        if cached is not None and self.finalized:
+            return cached
         gps, cps = set(), set()
 
         def visit(x: Any) -> None:
@@ -315,6 +321,8 @@ class Program:
             for inst in self.section(which):
                 for name in ("dst", "a", "b", "addr", "cp", "key"):
                     visit(getattr(inst, name))
+        if self.finalized:
+            self._reg_cache = (gps, cps)
         return gps, cps
 
     @property

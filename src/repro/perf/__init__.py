@@ -5,14 +5,22 @@ simulation's crank — engine microbenchmarks, end-to-end simulated-ns
 per host-second — and proves, via the cycle-equivalence checker, that
 the hot-path engine (:mod:`repro.sim.engine`) produces bit-identical
 simulated timing to the pre-overhaul reference implementation kept in
-:mod:`repro.perf.refengine`.  Results land in ``BENCH_sim.json``;
-``speedup_vs_reference`` ratios are machine-independent and are what CI
-regresses against.  See ``docs/performance.md``.
+:mod:`repro.perf.refengine`, and that the compiled execution tier
+(``SoftcoreConfig(compiled=True)``) reproduces the interpreter on
+every fingerprint field except the event count.  Results land in
+``BENCH_sim.json``; the speedup ratios are machine-independent and are
+what CI regresses against.  ``python -m repro.perf sweep`` farms
+paper-scale points across host processes (:mod:`repro.perf.sweep`).
+See ``docs/performance.md``.
 """
 
 from .equivalence import (
+    COMPILED_KEYS,
     GOLDEN_SMOKE,
     SCENARIOS,
+    bptree_scenario,
+    bptree_setup,
+    compiled_view,
     equivalence_failures,
     run_equivalence,
     tpcc_scenario,
@@ -22,16 +30,26 @@ from .equivalence import (
 )
 from .microbench import run_microbenchmarks
 from .refengine import ReferenceEngine
-from .simspeed import run_simspeed
+from .simspeed import run_simspeed, time_compiled_tier
+from .sweep import POINTS, host_metadata, run_point, run_sweep
 
 __all__ = [
+    "COMPILED_KEYS",
     "GOLDEN_SMOKE",
+    "POINTS",
     "SCENARIOS",
     "ReferenceEngine",
+    "bptree_scenario",
+    "bptree_setup",
+    "compiled_view",
     "equivalence_failures",
+    "host_metadata",
     "run_equivalence",
     "run_microbenchmarks",
+    "run_point",
     "run_simspeed",
+    "run_sweep",
+    "time_compiled_tier",
     "tpcc_scenario",
     "tpcc_setup",
     "ycsb_scenario",

@@ -4,16 +4,23 @@ Usage::
 
     python -m repro.perf                       # full run, writes BENCH_sim.json
     python -m repro.perf --smoke               # CI-sized run
+    python -m repro.perf --list                # list scenarios and exit
+    python -m repro.perf --scenario ycsb_smoke # restrict to named scenarios
     python -m repro.perf --out results.json    # alternate output path
     python -m repro.perf --smoke --check BENCH_sim.json
                                                # fail on >25% regression of any
-                                               # speedup_vs_reference ratio
+                                               # speedup ratio
+    python -m repro.perf sweep ...             # paper-scale parallel sweep
+                                               # (see repro.perf.sweep)
 
-The regression check compares ``speedup_vs_reference`` ratios only:
-both engines run in the same process on the same host, so the ratio is
-machine-independent even though absolute rates are not.  Equivalence
-failures (any simulated-timing divergence between the engines, or from
-the checked-in golden constants) always fail the run.
+The regression check compares speedup ratios only
+(``speedup_vs_reference`` for the engine overhaul,
+``speedup_vs_interpreted`` for the compiled execution tier): the
+compared configurations run in the same process on the same host, so a
+ratio is machine-independent even though absolute rates are not.
+Equivalence failures (any simulated-timing divergence between the
+engines, between the execution tiers, or from the checked-in golden
+constants) always fail the run.
 """
 
 from __future__ import annotations
@@ -23,23 +30,28 @@ import json
 import sys
 from typing import Dict
 
-from .equivalence import equivalence_failures, run_equivalence
+from .equivalence import SCENARIOS, equivalence_failures, run_equivalence
 from .microbench import run_microbenchmarks
 from .simspeed import run_simspeed
+from .sweep import host_metadata, sweep_main
 
 #: a ratio may degrade to this fraction of its baseline before CI fails
 REGRESSION_FLOOR = 0.75
 
-SCHEMA = "repro.perf/v1"
+SCHEMA = "repro.perf/v2"
+
+#: ratio fields covered by the regression gate
+_RATIO_KEYS = ("speedup_vs_reference", "speedup_vs_interpreted")
 
 
 def _collect_speedups(results: Dict) -> Dict[str, float]:
     out = {}
     for section in ("microbench", "simspeed"):
         for name, entry in results.get(section, {}).items():
-            ratio = entry.get("speedup_vs_reference")
-            if ratio is not None:
-                out[f"{section}.{name}"] = ratio
+            for key in _RATIO_KEYS:
+                ratio = entry.get(key)
+                if ratio is not None:
+                    out[f"{section}.{name}.{key}"] = ratio
     return out
 
 
@@ -55,15 +67,21 @@ def check_regressions(results: Dict, baseline: Dict) -> list:
             continue
         if now_ratio < base_ratio * REGRESSION_FLOOR:
             failures.append(
-                f"{key}: speedup_vs_reference {now_ratio:.2f} regressed "
+                f"{key}: speedup ratio {now_ratio:.2f} regressed "
                 f">25% from baseline {base_ratio:.2f}")
     return failures
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf",
-        description="simulator host-performance bench + cycle-equivalence")
+        description="simulator host-performance bench + cycle-equivalence "
+                    "(use the 'sweep' subcommand for paper-scale points)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (smaller scenarios, same checks)")
     parser.add_argument("--out", default="BENCH_sim.json",
@@ -72,39 +90,74 @@ def main(argv=None) -> int:
                         help="baseline BENCH_sim.json to regress against")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats per bench (best-of, default 3)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict equivalence/simspeed to this scenario "
+                             "(repeatable; see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list equivalence/simspeed scenarios and exit")
     args = parser.parse_args(argv)
 
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+
+    scenarios = args.scenario
+    if scenarios is not None:
+        unknown = [s for s in scenarios if s not in SCENARIOS]
+        if unknown:
+            parser.error(f"unknown scenario(s) {unknown}; "
+                         f"choose from {list(SCENARIOS)}")
+
     print("repro.perf: cycle-equivalence ...", flush=True)
-    equivalence = run_equivalence(scale=1)
+    equivalence = run_equivalence(scale=1, scenarios=scenarios)
     eq_failures = equivalence_failures(equivalence)
 
     print("repro.perf: microbenchmarks ...", flush=True)
     micro = run_microbenchmarks(smoke=args.smoke, repeats=args.repeats)
     print("repro.perf: end-to-end sim-speed ...", flush=True)
-    speed = run_simspeed(smoke=args.smoke, repeats=args.repeats)
+    speed = run_simspeed(smoke=args.smoke, repeats=args.repeats,
+                         scenarios=scenarios)
 
     results = {
         "schema": SCHEMA,
         "mode": "smoke" if args.smoke else "full",
         "repeats": args.repeats,
+        "meta": host_metadata(),
         "equivalence": equivalence,
         "microbench": micro,
         "simspeed": speed,
     }
+    if args.check:
+        # keep an existing sweep section when overwriting the baseline
+        try:
+            with open(args.out, "r", encoding="utf-8") as fh:
+                prior = json.load(fh)
+            if "sweep" in prior:
+                results["sweep"] = prior["sweep"]
+                results["sweep_meta"] = prior.get("sweep_meta")
+        except (OSError, ValueError):
+            pass
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"repro.perf: wrote {args.out}")
 
     for name, entry in micro.items():
-        print(f"  micro {name:<16s} {entry['rate_per_sec']:>12,.0f}/s   "
+        print(f"  micro {name:<18s} {entry['rate_per_sec']:>12,.0f}/s   "
               f"speedup vs reference {entry['speedup_vs_reference']:.2f}x")
     for name, entry in speed.items():
         extra = (f"{entry['sim_ns_per_host_sec']:,.0f} sim-ns/host-s"
                  if "sim_ns_per_host_sec" in entry else
                  f"{entry['host_seconds']*1e3:.1f} ms")
-        print(f"  speed {name:<16s} {extra:>24s}   "
-              f"speedup vs reference {entry['speedup_vs_reference']:.2f}x")
+        if "speedup_vs_interpreted" in entry:
+            ratio = (f"speedup vs interpreted "
+                     f"{entry['speedup_vs_interpreted']:.2f}x")
+        else:
+            ratio = (f"speedup vs reference "
+                     f"{entry['speedup_vs_reference']:.2f}x")
+        print(f"  speed {name:<18s} {extra:>24s}   {ratio}")
 
     failed = False
     if eq_failures:
@@ -114,7 +167,8 @@ def main(argv=None) -> int:
             print(f"  {failure}", file=sys.stderr)
     else:
         print("repro.perf: cycle-equivalence OK "
-              "(fast == reference == golden)")
+              "(fast == reference == golden; compiled tier matches on "
+              "now_ns/commits/aborts/commit-hash)")
 
     if args.check:
         with open(args.check, "r", encoding="utf-8") as fh:

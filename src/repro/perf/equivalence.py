@@ -14,25 +14,39 @@ pre-overhaul engine.  This module proves it two ways:
   equivalence is anchored to history, not merely to whatever the
   reference copy happens to compute today.
 
+The **compiled tier** (``SoftcoreConfig(compiled=True)``: generated
+straight-line softcore sections plus the callback state-machine hash
+pipeline) is held to the same goldens on every field except
+``events_fired``: the compiled pipeline provably drops only no-op
+event firings, so the event *count* shrinks while ``now_ns``, commit
+and abort counts and the per-transaction commit-timestamp hash stay
+bit-identical (:data:`COMPILED_KEYS`).
+
 Scenarios are deterministic: fixed seeds, no wall-clock reads.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core import BionicConfig, BionicDB
+from ..mem.schema import IndexKind
+from ..softcore import SoftcoreConfig
 from ..workloads import TpccConfig, TpccWorkload, YcsbConfig, YcsbWorkload
 from .refengine import ReferenceEngine
 
-__all__ = ["GOLDEN_SMOKE", "SCENARIOS", "ycsb_setup", "ycsb_scenario",
-           "tpcc_setup", "tpcc_scenario", "run_equivalence",
-           "equivalence_failures"]
+__all__ = ["GOLDEN_SMOKE", "SCENARIOS", "SETUPS", "COMPILED_KEYS",
+           "ycsb_setup", "ycsb_scenario", "tpcc_setup", "tpcc_scenario",
+           "bptree_setup", "bptree_scenario", "compiled_view",
+           "run_equivalence", "equivalence_failures"]
 
 #: fingerprints of the smoke scenarios captured on the pre-overhaul
-#: engine (the heap-only event loop this PR replaced), before any fast
-#: path landed — the anchor the live engines are compared against
+#: engine (the heap-only event loop the perf PR replaced), before any
+#: fast path landed — the anchor the live engines are compared against.
+#: bptree_range_smoke was captured later (when the scenario was added)
+#: on the fast engine/ReferenceEngine pair, which the other two anchors
+#: prove equivalent to the pre-overhaul engine.
 GOLDEN_SMOKE = {
     "ycsb_smoke": {
         "events_fired": 18477,
@@ -50,7 +64,20 @@ GOLDEN_SMOKE = {
         "commit_hash":
             "bc978ca2d2c04e903222919cead95159309d178c46a89346555774f06f3118b9",
     },
+    "bptree_range_smoke": {
+        "events_fired": 6033,
+        "now_ns": 423312.0,
+        "committed": 32,
+        "aborted": 0,
+        "commit_hash":
+            "a0aa2f667110944e34715ca59cfc44a50f287b2195ac3e4ee2749d9f0cb6ed6f",
+    },
 }
+
+#: the fields the compiled tier must reproduce exactly.  events_fired
+#: is deliberately absent: dropped no-op firings shrink the count
+#: without moving any remaining item (see repro.index.hash.compiled).
+COMPILED_KEYS = ("now_ns", "committed", "aborted", "commit_hash")
 
 
 def _digest(commits: list) -> str:
@@ -69,17 +96,25 @@ def _fingerprint(db: BionicDB, report, blocks) -> Dict[str, object]:
     }
 
 
-def ycsb_setup(engine_factory: Optional[Callable] = None, scale: int = 1):
+def compiled_view(fingerprint: Dict[str, object]) -> Dict[str, object]:
+    """Restrict a fingerprint to the fields the compiled tier must match."""
+    return {k: fingerprint[k] for k in COMPILED_KEYS}
+
+
+def ycsb_setup(engine_factory: Optional[Callable] = None, scale: int = 1,
+               softcore: Optional[SoftcoreConfig] = None):
     """Build the YCSB scenario; returns ``(db, run)`` where ``run()``
     executes the seeded transaction mix and returns its fingerprint.
 
     Split from the run phase so :mod:`repro.perf.simspeed` can time the
     simulation loop separately from timing-free data loading.
+    ``softcore`` selects the execution tier (compiled vs interpreted).
     """
     n = 40 * scale
     wl = YcsbWorkload(YcsbConfig(records_per_partition=2000, n_partitions=2,
                                  reads_per_txn=8, seed=7))
-    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory))
+    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory,
+                               softcore=softcore or SoftcoreConfig()))
     wl.install(db)
     specs = wl.make_read_txns(n) + wl.make_rmw_txns(n // 2)
 
@@ -91,18 +126,22 @@ def ycsb_setup(engine_factory: Optional[Callable] = None, scale: int = 1):
 
 
 def ycsb_scenario(engine_factory: Optional[Callable] = None,
-                  scale: int = 1) -> Dict[str, object]:
+                  scale: int = 1,
+                  softcore: Optional[SoftcoreConfig] = None
+                  ) -> Dict[str, object]:
     """Seeded YCSB mix (reads + RMWs) on a 2-worker machine."""
-    _db, run = ycsb_setup(engine_factory, scale)
+    _db, run = ycsb_setup(engine_factory, scale, softcore)
     return run()
 
 
-def tpcc_setup(engine_factory: Optional[Callable] = None, scale: int = 1):
+def tpcc_setup(engine_factory: Optional[Callable] = None, scale: int = 1,
+               softcore: Optional[SoftcoreConfig] = None):
     """Build the TPC-C scenario; returns ``(db, run)`` (see ycsb_setup)."""
     n = 24 * scale
     wl = TpccWorkload(TpccConfig(n_partitions=2, customers_per_district=40,
                                  items=400, seed=11))
-    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory))
+    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory,
+                               softcore=softcore or SoftcoreConfig()))
     wl.install(db)
     specs = wl.make_mix(n)
 
@@ -114,36 +153,92 @@ def tpcc_setup(engine_factory: Optional[Callable] = None, scale: int = 1):
 
 
 def tpcc_scenario(engine_factory: Optional[Callable] = None,
-                  scale: int = 1) -> Dict[str, object]:
+                  scale: int = 1,
+                  softcore: Optional[SoftcoreConfig] = None
+                  ) -> Dict[str, object]:
     """Seeded TPC-C NewOrder+Payment mix with retry-to-commit."""
-    _db, run = tpcc_setup(engine_factory, scale)
+    _db, run = tpcc_setup(engine_factory, scale, softcore)
+    return run()
+
+
+def bptree_setup(engine_factory: Optional[Callable] = None, scale: int = 1,
+                 softcore: Optional[SoftcoreConfig] = None):
+    """YCSB over a B+ tree index: point reads plus RANGE_SCANs.
+
+    Exercises the batched level-wise B+ tree coprocessor and the
+    RANGE_SCAN path end-to-end; under the compiled tier it additionally
+    exercises tier fallback (sections the specializer declines run on
+    the interpreter mid-workload, with identical simulated timing).
+    """
+    n = 16 * scale
+    wl = YcsbWorkload(YcsbConfig(records_per_partition=1200, n_partitions=2,
+                                 reads_per_txn=4, scan_length=24, seed=13,
+                                 index_kind=IndexKind.BPTREE))
+    db = BionicDB(BionicConfig(n_workers=2, engine_factory=engine_factory,
+                               softcore=softcore or SoftcoreConfig()))
+    wl.install(db)
+    specs = wl.make_read_txns(n) + wl.make_range_txns(n)
+
+    def run() -> Dict[str, object]:
+        report, blocks = wl.submit_all(db, specs)
+        return _fingerprint(db, report, blocks)
+
+    return db, run
+
+
+def bptree_scenario(engine_factory: Optional[Callable] = None,
+                    scale: int = 1,
+                    softcore: Optional[SoftcoreConfig] = None
+                    ) -> Dict[str, object]:
+    """Seeded B+ tree reads + range scans on a 2-worker machine."""
+    _db, run = bptree_setup(engine_factory, scale, softcore)
     return run()
 
 
 SCENARIOS: Dict[str, Callable] = {
     "ycsb_smoke": ycsb_scenario,
     "tpcc_smoke": tpcc_scenario,
+    "bptree_range_smoke": bptree_scenario,
+}
+
+#: setup-phase variants (build returns (db, run)) for simspeed timing
+SETUPS: Dict[str, Callable] = {
+    "ycsb_smoke": ycsb_setup,
+    "tpcc_smoke": tpcc_setup,
+    "bptree_range_smoke": bptree_setup,
 }
 
 
-def run_equivalence(scale: int = 1) -> Dict[str, Dict[str, object]]:
+def run_equivalence(scale: int = 1,
+                    scenarios: Optional[Iterable[str]] = None
+                    ) -> Dict[str, Dict[str, object]]:
     """Replay every scenario on both engines and compare fingerprints.
 
     Returns, per scenario: the fast-engine and reference-engine
-    fingerprints, whether they match each other, and (at scale 1)
-    whether the fast engine matches the checked-in golden constants.
+    fingerprints, whether they match each other, whether the compiled
+    execution tier reproduces the fast engine on :data:`COMPILED_KEYS`,
+    and (at scale 1) whether the fast engine matches the checked-in
+    golden constants.  ``scenarios`` restricts the run to the named
+    subset (unknown names raise ``KeyError``).
     """
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
     out: Dict[str, Dict[str, object]] = {}
-    for name, scenario in SCENARIOS.items():
+    for name in names:
+        scenario = SCENARIOS[name]
         fast = scenario(None, scale)
         ref = scenario(ReferenceEngine, scale)
+        compiled = scenario(None, scale, SoftcoreConfig(compiled=True))
         entry: Dict[str, object] = {
             "fast": fast,
             "reference": ref,
             "match": fast == ref,
+            "compiled": compiled,
+            "compiled_match": compiled_view(compiled) == compiled_view(fast),
         }
         if scale == 1:
-            entry["golden_match"] = fast == GOLDEN_SMOKE[name]
+            golden = GOLDEN_SMOKE.get(name)
+            if golden is not None:
+                entry["golden_match"] = fast == golden
         out[name] = entry
     return out
 
@@ -160,4 +255,9 @@ def equivalence_failures(results: Dict[str, Dict[str, object]]) -> List[str]:
             failures.append(
                 f"{name}: fast engine diverged from checked-in golden "
                 f"values — fast={entry['fast']} golden={GOLDEN_SMOKE[name]}")
+        if not entry.get("compiled_match", True):
+            failures.append(
+                f"{name}: compiled tier diverged from the interpreter on "
+                f"{COMPILED_KEYS} — compiled={entry['compiled']} "
+                f"interpreted={entry['fast']}")
     return failures

@@ -1,0 +1,283 @@
+"""Host-parallel sweep runner for paper-scale simulation points.
+
+A paper-scale point (YCSB at 300 K rows per partition, TPC-C with full
+districts) costs whole host-seconds even on the compiled tier, and a
+figure is many such points — so the runner farms points across host
+*processes* with :class:`concurrent.futures.ProcessPoolExecutor`.
+Every point is:
+
+* **named** — the registry (:data:`POINTS`) maps a stable name to a
+  picklable parameter dict, so a point can be re-run in isolation and
+  its result diffed across commits;
+* **deterministically seeded** — the workload seed is derived from the
+  point's name (CRC-32), never from time or process id, so the
+  simulated fingerprint of a point is a constant of the tree;
+* **fingerprinted** — the result records ``now_ns``, commit/abort
+  counts and the commit-timestamp hash next to the host timing, so a
+  sweep doubles as a large-scale determinism check.
+
+Results merge into ``BENCH_sim.json`` under the ``"sweep"`` key (one
+entry per point, host metadata stamped alongside).  Usage::
+
+    python -m repro.perf sweep --list
+    python -m repro.perf sweep --points ycsb_paper_300k --jobs 2
+    python -m repro.perf sweep                  # every registered point
+
+Wall-clock reads below only measure host cost; all simulated
+behaviour is seeded (the determinism lint enforces the split).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+from zlib import crc32
+
+__all__ = ["POINTS", "run_point", "run_sweep", "host_metadata",
+           "sweep_main"]
+
+
+def _point_seed(name: str) -> int:
+    """Stable per-point seed: a CRC-32 of the point's name."""
+    return crc32(name.encode("utf-8")) % 1_000_000
+
+
+#: the sweep-point registry.  Parameter dicts are plain JSON-able data
+#: (picklable for the process pool, diffable in BENCH_sim.json).
+POINTS: Dict[str, Dict[str, object]] = {
+    # the paper's YCSB scale: 300 K rows per partition (§5.2); the
+    # compiled tier makes this a single-digit-seconds point
+    "ycsb_paper_300k": {
+        "workload": "ycsb",
+        "n_workers": 4,
+        "records_per_partition": 300_000,
+        "reads_per_txn": 16,
+        "n_txns": 240,
+        "compiled": True,
+    },
+    # same configuration and SEED on the interpreter tier: the pair
+    # documents the measured compiled-tier speedup at paper scale and
+    # doubles as a paper-scale equivalence check (identical simulated
+    # fingerprint required, modulo events_fired)
+    "ycsb_paper_300k_interp": {
+        "workload": "ycsb",
+        "n_workers": 4,
+        "records_per_partition": 300_000,
+        "reads_per_txn": 16,
+        "n_txns": 240,
+        "compiled": False,
+        "seed_name": "ycsb_paper_300k",
+    },
+    # TPC-C at full scale-factor structure: all 10 districts per
+    # warehouse with TPC-C-sized customer/item populations
+    "tpcc_full_districts": {
+        "workload": "tpcc",
+        "n_partitions": 2,
+        "districts_per_warehouse": 10,
+        "customers_per_district": 3000,
+        "items": 100_000,
+        "n_txns": 96,
+        "compiled": True,
+    },
+}
+
+
+def _fingerprint(db, report, blocks) -> Dict[str, object]:
+    from .equivalence import _fingerprint as fp
+    return fp(db, report, blocks)
+
+
+def _run_ycsb(params: Dict, seed: int) -> Dict[str, object]:
+    from ..core import BionicConfig, BionicDB
+    from ..softcore import SoftcoreConfig
+    from ..workloads import YcsbConfig, YcsbWorkload
+
+    cfg = YcsbConfig(
+        records_per_partition=int(params["records_per_partition"]),
+        n_partitions=int(params["n_workers"]),
+        reads_per_txn=int(params.get("reads_per_txn", 16)),
+        seed=seed)
+    db = BionicDB(BionicConfig(
+        n_workers=int(params["n_workers"]),
+        softcore=SoftcoreConfig(compiled=bool(params.get("compiled", True)))))
+    wl = YcsbWorkload(cfg)
+    t0 = time.perf_counter()   # det: allow(wall-clock)
+    wl.install(db)
+    t_loaded = time.perf_counter()   # det: allow(wall-clock)
+    report, blocks = wl.submit_all(db, wl.make_read_txns(int(params["n_txns"])))
+    t_done = time.perf_counter()   # det: allow(wall-clock)
+    out = _fingerprint(db, report, blocks)
+    out["throughput_tps"] = report.throughput_tps
+    out["load_host_seconds"] = t_loaded - t0
+    out["run_host_seconds"] = t_done - t_loaded
+    out["host_seconds"] = t_done - t0
+    return out
+
+
+def _run_tpcc(params: Dict, seed: int) -> Dict[str, object]:
+    from ..core import BionicConfig, BionicDB
+    from ..softcore import SoftcoreConfig
+    from ..workloads import TpccConfig, TpccWorkload
+
+    cfg = TpccConfig(
+        n_partitions=int(params["n_partitions"]),
+        districts_per_warehouse=int(params["districts_per_warehouse"]),
+        customers_per_district=int(params["customers_per_district"]),
+        items=int(params["items"]),
+        seed=seed)
+    db = BionicDB(BionicConfig(
+        n_workers=int(params["n_partitions"]),
+        softcore=SoftcoreConfig(compiled=bool(params.get("compiled", True)))))
+    wl = TpccWorkload(cfg)
+    t0 = time.perf_counter()   # det: allow(wall-clock)
+    wl.install(db)
+    t_loaded = time.perf_counter()   # det: allow(wall-clock)
+    report, blocks = wl.submit_all(db, wl.make_mix(int(params["n_txns"])),
+                                   retry=True)
+    t_done = time.perf_counter()   # det: allow(wall-clock)
+    out = _fingerprint(db, report, blocks)
+    out["throughput_tps"] = report.throughput_tps
+    out["load_host_seconds"] = t_loaded - t0
+    out["run_host_seconds"] = t_done - t_loaded
+    out["host_seconds"] = t_done - t0
+    return out
+
+
+_WORKLOADS = {"ycsb": _run_ycsb, "tpcc": _run_tpcc}
+
+
+def run_point(name: str) -> Dict[str, object]:
+    """Execute one registered sweep point (this is the pool task —
+    module-level so it pickles by qualified name)."""
+    params = POINTS[name]
+    # seed_name lets tier-comparison twins share one seed (identical
+    # simulated behaviour, different host cost)
+    seed = _point_seed(str(params.get("seed_name", name)))
+    result = _WORKLOADS[str(params["workload"])](params, seed)
+    result["point"] = name
+    result["seed"] = seed
+    result["params"] = dict(params)
+    return result
+
+
+def run_sweep(names: Optional[List[str]] = None,
+              jobs: Optional[int] = None) -> Dict[str, Dict[str, object]]:
+    """Run the named points across host processes; dict keyed by point.
+
+    ``jobs`` defaults to one process per point, capped by the host's
+    CPU count.  Results come back in registry order regardless of
+    completion order, so the merged JSON is stable.
+    """
+    names = list(names) if names is not None else list(POINTS)
+    unknown = [n for n in names if n not in POINTS]
+    if unknown:
+        raise KeyError(f"unknown sweep points: {unknown} "
+                       f"(see --list for the registry)")
+    jobs = jobs or min(len(names), os.cpu_count() or 1)
+    if jobs <= 1 or len(names) <= 1:
+        return {name: run_point(name) for name in names}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {name: pool.submit(run_point, name) for name in names}
+        return {name: futures[name].result() for name in names}
+
+
+def host_metadata() -> Dict[str, object]:
+    """Host facts stamped next to any timing numbers: absolute rates
+    are meaningless without them."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _merge_into(path: str, sweep_results: Dict[str, Dict]) -> None:
+    """Merge sweep results into an existing BENCH_sim.json (or start a
+    fresh file), preserving the other sections."""
+    data: Dict = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    data.setdefault("sweep", {}).update(sweep_results)
+    data["sweep_meta"] = host_metadata()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def sweep_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf sweep",
+        description="host-parallel paper-scale sweep runner")
+    parser.add_argument("--points", default=None,
+                        help="comma-separated point names (default: all)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: one per point, "
+                             "capped at CPU count)")
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="merge results into this JSON file")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered sweep points and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, params in POINTS.items():
+            seed = _point_seed(str(params.get("seed_name", name)))
+            print(f"{name:<28s} {params['workload']:<5s} seed={seed} "
+                  + " ".join(f"{k}={v}" for k, v in params.items()
+                             if k != "workload"))
+        return 0
+
+    names = (args.points.split(",") if args.points else None)
+    t0 = time.perf_counter()   # det: allow(wall-clock)
+    results = run_sweep(names, jobs=args.jobs)
+    wall = time.perf_counter() - t0   # det: allow(wall-clock)
+
+    serial = sum(r["host_seconds"] for r in results.values())
+    for name, r in results.items():
+        print(f"  sweep {name:<28s} {r['host_seconds']:7.2f}s host   "
+              f"{r['throughput_tps']:>12,.0f} tps   "
+              f"commits={r['committed']} aborts={r['aborted']}")
+
+    # tier-comparison twins: require identical simulated results and
+    # record the measured compiled-tier speedup on the compiled entry
+    for name, r in results.items():
+        twin = results.get(f"{name}_interp")
+        if twin is None:
+            continue
+        for key in ("now_ns", "committed", "aborted", "commit_hash",
+                    "throughput_tps"):
+            if r[key] != twin[key]:
+                print(f"repro.perf sweep: TIER DIVERGENCE at {name}: "
+                      f"{key} {r[key]} != {twin[key]}", file=sys.stderr)
+                return 1
+        r["speedup_vs_interpreted"] = (twin["host_seconds"]
+                                       / r["host_seconds"])
+        # the load phase is tier-independent and dominates a paper-scale
+        # point, so the run-phase ratio is the tier's own figure
+        r["run_speedup_vs_interpreted"] = (twin["run_host_seconds"]
+                                           / r["run_host_seconds"])
+        print(f"  sweep {name}: compiled tier "
+              f"{r['speedup_vs_interpreted']:.2f}x whole-point, "
+              f"{r['run_speedup_vs_interpreted']:.2f}x on the run phase, "
+              f"vs interpreted (identical simulated fingerprint)")
+    print(f"repro.perf sweep: {len(results)} point(s), "
+          f"{serial:.2f}s of work in {wall:.2f}s wall "
+          f"({serial / wall if wall > 0 else 1:.2f}x parallel)")
+
+    _merge_into(args.out, results)
+    print(f"repro.perf sweep: merged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(sweep_main())

@@ -483,38 +483,46 @@ class Engine:
         heappop = heapq.heappop
         unbounded = until is None
         unwatched = max_events is None
-        while not self._halted:
-            if ready:
-                # Same-time heap entries (lower seq) fire before the deque.
-                if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+        # events_fired is kept in a local inside the loop (one attribute
+        # store per firing is measurable at paper scale); callbacks never
+        # read it mid-run — the only consumer, _maybe_crash, gets a
+        # synced value, and the finally republishes it on every exit.
+        base = self.events_fired
+        try:
+            while not self._halted:
+                if ready:
+                    # Same-time heap entries (lower seq) fire before the deque.
+                    if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+                        from_heap = True
+                        when = heap[0][0]
+                    else:
+                        from_heap = False
+                        when = self.now
+                elif heap:
                     from_heap = True
                     when = heap[0][0]
                 else:
-                    from_heap = False
-                    when = self.now
-            elif heap:
-                from_heap = True
-                when = heap[0][0]
-            else:
-                break
-            if not unbounded and when > until:
-                self.now = until
-                return self.now
-            if not unwatched and fired >= max_events:
-                raise SimulationError(
-                    f"watchdog: {fired} events fired without the heap "
-                    f"draining — runaway process?", now_ns=self.now,
-                    pending=len(heap) + len(ready))
-            if from_heap:
-                when, _seq, fn, arg = heappop(heap)
-                self.now = when
-            else:
-                _seq, fn, arg = ready.popleft()
-            fired += 1
-            self.events_fired += 1
-            fn(arg)
-            if self.crash_at_fired is not None:
-                self._maybe_crash()
+                    break
+                if not unbounded and when > until:
+                    self.now = until
+                    return self.now
+                if not unwatched and fired >= max_events:
+                    raise SimulationError(
+                        f"watchdog: {fired} events fired without the heap "
+                        f"draining — runaway process?", now_ns=self.now,
+                        pending=len(heap) + len(ready))
+                if from_heap:
+                    when, _seq, fn, arg = heappop(heap)
+                    self.now = when
+                else:
+                    _seq, fn, arg = ready.popleft()
+                fired += 1
+                fn(arg)
+                if self.crash_at_fired is not None:
+                    self.events_fired = base + fired
+                    self._maybe_crash()
+        finally:
+            self.events_fired = base + fired
         if not unbounded and not self._halted:
             self.now = max(self.now, until)
         return self.now

@@ -23,6 +23,7 @@ hazard prevention is disabled.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Deque, Dict, Optional
 
 from .clock import ClockDomain
@@ -71,15 +72,18 @@ class Heap:
 
 
 class _Request:
-    __slots__ = ("kind", "addr", "value", "event", "apply_fn")
+    __slots__ = ("kind", "addr", "value", "event", "apply_fn", "cb", "cb_arg")
 
     def __init__(self, kind: str, addr: int, value: Any, event: Optional[Event],
-                 apply_fn: Optional[Callable] = None):
+                 apply_fn: Optional[Callable] = None,
+                 cb: Optional[Callable] = None, cb_arg: Any = None):
         self.kind = kind
         self.addr = addr
         self.value = value
         self.event = event
         self.apply_fn = apply_fn
+        self.cb = cb
+        self.cb_arg = cb_arg
 
 
 class DramModel:
@@ -164,6 +168,11 @@ class MemoryPort:
         # Engine.call_fn_at instead of allocating a lambda per request
         self._launch_cb = self._launch
         self._complete_cb = self._complete
+        # the stock engine's work-item layout is known, so the hot path
+        # pushes (when, seq, fn, arg) items directly; any other
+        # Engine-shaped loop (e.g. the perf ReferenceEngine) goes
+        # through its _schedule_fn
+        self._stock_engine = type(self.engine) is Engine
 
     # -- public operations -------------------------------------------------
     def read(self, addr: int) -> Event:
@@ -181,6 +190,21 @@ class MemoryPort:
     def post_write(self, addr: int, value: Any) -> None:
         """Posted (fire-and-forget) write; still occupies an issue slot."""
         self._submit(_Request("write", addr, value, None))
+
+    def read_cb(self, addr: int, fn: Callable, arg: Any) -> None:
+        """Read with a closure-free completion callback.
+
+        ``fn((arg, value))`` is scheduled at the exact ready-deque
+        position the event dispatch of :meth:`read` would occupy, so
+        timing (and same-instant firing order) is identical — the only
+        difference is that no :class:`Event` is allocated.  This is the
+        completion path of the compiled pipeline tier.
+        """
+        self._submit(_Request("read", addr, None, None, cb=fn, cb_arg=arg))
+
+    def write_cb(self, addr: int, value: Any, fn: Callable, arg: Any) -> None:
+        """Write with a closure-free completion callback (see read_cb)."""
+        self._submit(_Request("write", addr, value, None, cb=fn, cb_arg=arg))
 
     def apply(self, addr: int, fn: Callable[[Any], None]) -> Event:
         """Read-modify-write: run ``fn(cell_value)`` at service time.
@@ -205,7 +229,42 @@ class MemoryPort:
         if self._outstanding >= self.max_outstanding:
             self._pending.append(req)
             return
-        self._issue(req)
+        # fused issue + launch fast path: an idle port whose issue slot
+        # is free arbitrates the channel and schedules completion in one
+        # step (identical work items to _issue/_launch, no call chain)
+        self._outstanding += 1
+        self.issued += 1
+        engine = self.engine
+        now = engine.now
+        nxt = self._next_issue
+        if nxt <= now:
+            self._next_issue = now + self.issue_interval_ns
+            dram = self.dram
+            ch = req.addr % dram.channels
+            free = dram._channel_free[ch]
+            t_issue = free if free > now else now
+            dram._channel_free[ch] = t_issue + dram.channel_interval_ns
+            if req.kind == "read":
+                dram._reads.value += 1
+            else:
+                dram._writes.value += 1
+            if self._stock_engine:
+                seq = engine._seq = engine._seq + 1
+                heappush(engine._heap, (t_issue + dram.latency_ns, seq,
+                                        self._complete_cb, req))
+            else:
+                engine._schedule_fn(t_issue + dram.latency_ns,
+                                    self._complete_cb, req)
+        else:
+            # wait for the port's issue slot, then arbitrate the channel
+            # *at that instant* — reserving channel slots early would let
+            # one backlogged port starve other requesters of idle slots.
+            self._next_issue = nxt + self.issue_interval_ns
+            if self._stock_engine:
+                seq = engine._seq = engine._seq + 1
+                heappush(engine._heap, (nxt, seq, self._launch_cb, req))
+            else:
+                engine._schedule_fn(nxt, self._launch_cb, req)
 
     def _issue(self, req: _Request) -> None:
         self._outstanding += 1
@@ -226,7 +285,8 @@ class MemoryPort:
 
     def _launch(self, req: _Request) -> None:
         dram = self.dram
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         # inline channel arbitration (DramModel._issue_time) with an
         # analytic fast-forward: an idle channel issues at `now` without
         # the max() round-trip
@@ -238,9 +298,15 @@ class MemoryPort:
             dram._reads.value += 1
         else:
             dram._writes.value += 1
-        # t_issue >= now and latency >= 0, so skip call_fn_at's past-check
-        self.engine._schedule_fn(t_issue + dram.latency_ns,
-                                 self._complete_cb, req)
+        # t_issue >= now and latency > 0, so the completion always lands
+        # on the heap — the same work item _schedule_fn would push
+        if self._stock_engine:
+            seq = engine._seq = engine._seq + 1
+            heappush(engine._heap, (t_issue + dram.latency_ns, seq,
+                                    self._complete_cb, req))
+        else:
+            engine._schedule_fn(t_issue + dram.latency_ns,
+                                self._complete_cb, req)
 
     def _complete(self, req: _Request) -> None:
         heap = self.dram.heap
@@ -255,8 +321,17 @@ class MemoryPort:
         self._outstanding -= 1
         if self._pending:
             self._issue(self._pending.popleft())
-        if req.event is not None:
-            req.event.succeed(value)
+        event = req.event
+        if event is not None:
+            event.succeed(value)
+        elif req.cb is not None:
+            # same ready-deque slot the succeed() dispatch would take
+            engine = self.engine
+            if self._stock_engine:
+                seq = engine._seq = engine._seq + 1
+                engine._ready.append((seq, req.cb, (req.cb_arg, value)))
+            else:
+                engine._schedule_fn(engine.now, req.cb, (req.cb_arg, value))
 
 
 class Bram:

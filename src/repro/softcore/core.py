@@ -80,6 +80,13 @@ class SoftcoreConfig:
     #: closes the batch instead of joining it.  None (the default)
     #: keeps grouping decisions — and timing — exactly as before.
     conflict_hints: Optional[Any] = None
+    #: run registered procedures through the compiled execution tier
+    #: (:mod:`repro.softcore.compiled`): per-procedure generated Python
+    #: with coalesced cycle charges.  Simulated timing is bit-identical
+    #: to the interpreter (``repro.perf`` enforces it); sections the
+    #: compiler declines fall back to the interpreter automatically.
+    #: Ignored under ``dynamic_scheduling`` and while tracing.
+    compiled: bool = False
 
 
 class Softcore:
@@ -135,6 +142,11 @@ class Softcore:
         self._db_insts = self.stats.counter(f"{pre}.db_instructions")
         self._remote_insts = self.stats.counter(f"{pre}.remote_db_instructions")
 
+        self._compiled = None
+        if self.config.compiled and not self.config.dynamic_scheduling:
+            from .compiled import CompiledTier
+            self._compiled = CompiledTier(self)
+
         self._proc = engine.process(self._run(), name=f"w{worker_id}.softcore")
 
     @staticmethod
@@ -180,9 +192,9 @@ class Softcore:
                 yield self.clock.delay(cfg.context_switch_cycles)
                 yield ctx.wait_drained(self.engine)
                 if not ctx.failed:
-                    yield from self._exec_section(ctx, Section.COMMIT)
+                    yield from self._section_gen(ctx, Section.COMMIT)
                 if ctx.failed:
-                    yield from self._exec_section(ctx, Section.ABORT)
+                    yield from self._section_gen(ctx, Section.ABORT)
                 self._release(ctx)
             self._batches.add()
 
@@ -227,7 +239,7 @@ class Softcore:
             if ctx is None:
                 break
             yield from self._ingest(ctx)
-            yield from self._exec_section(ctx, Section.LOGIC)
+            yield from self._section_gen(ctx, Section.LOGIC)
             ctx.finished_logic = True
             yield self.clock.delay(cfg.context_switch_cycles)
             if not cfg.interleaving:
@@ -312,6 +324,20 @@ class Softcore:
             self._pending_info.pop(i, None)
         if self.on_txn_done is not None:
             self.on_txn_done(ctx.block)
+
+    # -- execution tiers -----------------------------------------------------
+    def _section_gen(self, ctx: TxnContext, section: Section):
+        """The generator executing ``section``: the compiled tier's
+        specialised function when available, else the interpreter.
+        Returns (rather than is) a generator so the interpreter path
+        pays no extra frame; tracing forces the interpreter because
+        per-instruction trace lines only exist there."""
+        tier = self._compiled
+        if tier is not None and not self.tracer.enabled:
+            fn = tier.section_fn(ctx.entry, section)
+            if fn is not None:
+                return fn(self, ctx)
+        return self._exec_section(ctx, section)
 
     # -- interpreter --------------------------------------------------------
     def _exec_section(self, ctx: TxnContext, section: Section,

@@ -63,20 +63,27 @@ class TpccWorkload:
     def _load(self, db: BionicDB) -> None:
         cfg = self.config
         rng = random.Random(cfg.seed + 1)
-        for i in range(1, cfg.items + 1):
-            db.load(S.ITEM, i, [f"item{i}", rng.randint(1, 100)])
-        for w in range(1, cfg.n_warehouses + 1):
-            db.load(S.WAREHOUSE, S.warehouse_key(w),
-                    [f"w{w}", rng.randint(0, 20) / 100.0, 0])
+
+        def rows():
+            # exactly the row (and rng-draw) order of the original
+            # per-row loader: heap allocation order is load-bearing for
+            # simulated timing (DRAM channel = address % channels)
             for i in range(1, cfg.items + 1):
-                db.load(S.STOCK, S.stock_key(w, i),
-                        [rng.randint(10, 100), 0, 0])
-            for d in range(1, cfg.districts_per_warehouse + 1):
-                db.load(S.DISTRICT, S.district_key(w, d),
-                        [rng.randint(0, 20) / 100.0, 0, 1, 1])
-                for c in range(1, cfg.customers_per_district + 1):
-                    db.load(S.CUSTOMER, S.customer_key(w, d, c),
-                            [f"c{w}.{d}.{c}", 0, 0, 0, 0])
+                yield S.ITEM, i, [f"item{i}", rng.randint(1, 100)]
+            for w in range(1, cfg.n_warehouses + 1):
+                yield (S.WAREHOUSE, S.warehouse_key(w),
+                       [f"w{w}", rng.randint(0, 20) / 100.0, 0])
+                for i in range(1, cfg.items + 1):
+                    yield (S.STOCK, S.stock_key(w, i),
+                           [rng.randint(10, 100), 0, 0])
+                for d in range(1, cfg.districts_per_warehouse + 1):
+                    yield (S.DISTRICT, S.district_key(w, d),
+                           [rng.randint(0, 20) / 100.0, 0, 1, 1])
+                    for c in range(1, cfg.customers_per_district + 1):
+                        yield (S.CUSTOMER, S.customer_key(w, d, c),
+                               [f"c{w}.{d}.{c}", 0, 0, 0, 0])
+
+        db.load_many(rows())
 
     # -- generators ----------------------------------------------------------
     def _home_of(self, w: int) -> int:

@@ -212,8 +212,11 @@ class YcsbWorkload:
                 self.range_procedure(cfg.scan_length, self.range_layout()))
         if not load_data:
             return
-        for key in range(cfg.total_records):
-            db.load(YCSB_TABLE, key, [cfg.payload])
+        # batched fast path; row order (and so heap addresses) matches
+        # per-row db.load exactly
+        payload = cfg.payload
+        db.load_many((YCSB_TABLE, key, [payload])
+                     for key in range(cfg.total_records))
 
     # -- block layouts -----------------------------------------------------------
     def read_layout(self, n_reads: Optional[int] = None) -> BlockLayout:

@@ -119,7 +119,7 @@ def test_cli_smoke_writes_bench_json(tmp_path):
     out = tmp_path / "bench.json"
     assert main(["--smoke", "--out", str(out), "--repeats", "2"]) == 0
     results = json.loads(out.read_text())
-    assert results["schema"] == "repro.perf/v1"
+    assert results["schema"] == "repro.perf/v2"
     assert results["mode"] == "smoke"
     for section in ("equivalence", "microbench", "simspeed"):
         assert section in results
